@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_eXX_*.py`` regenerates one experiment of EXPERIMENTS.md:
+it prints the rows, writes them to ``benchmarks/results/``, asserts the
+claim's *shape*, and times a representative workload with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis import render_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(rows, name: str, title: str) -> str:
+    """Render, persist, and print one experiment table."""
+    text = render_table(rows, title)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text

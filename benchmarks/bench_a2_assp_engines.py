@@ -1,0 +1,40 @@
+"""A2 — ablation of the ASSSP engine inside §4 LimitedSP."""
+
+import numpy as np
+
+from _bench_utils import save_table
+from repro.analysis import Row
+from repro.assp import get_engine
+from repro.baselines import dijkstra
+from repro.graph import zero_heavy_digraph
+
+
+def test_a2_engine_ablation_table(benchmark):
+    from repro.limited import limited_sssp
+
+    g = zero_heavy_digraph(200, 1000, p_zero=0.4, seed=5)
+    limit = 14
+    expected = dijkstra(g, 0, limit=limit).dist
+
+    def run():
+        rows = []
+        for name in ("exact", "perturbed", "delta-stepping", "flaky"):
+            engine = (get_engine(name, seed=5)
+                      if name in ("perturbed", "flaky")
+                      else get_engine(name))
+            res = limited_sssp(g, 0, limit, engine=engine,
+                               max_retries=500)
+            np.testing.assert_array_equal(res.dist, expected)
+            rows.append(Row(params={"engine": name},
+                            values={"work": res.cost.work,
+                                    "span_model": res.cost.span_model,
+                                    "refine_calls": res.refine_calls,
+                                    "retries": res.retries}))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(rows, "a2_assp_engines",
+               "A2 — ASSSP engine ablation in LimitedSP")
+    assert all(r.values["retries"] == 0 for r in rows
+               if r.params["engine"] in ("exact", "perturbed",
+                                         "delta-stepping"))

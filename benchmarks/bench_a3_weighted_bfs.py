@@ -1,0 +1,52 @@
+"""A3 — ablation: LimitedSP vs weighted BFS on strictly positive weights.
+
+§1.2: without 0-weight edges, distance-limited SSSP is solvable by a
+generalized parallel BFS in O(m + L) work — far cheaper than the interval
+refinement machinery, which exists *because of* the 0s.  The table shows
+the work gap on positive-weight inputs, and that only LimitedSP survives
+once zeros are mixed in.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import save_table
+from repro.analysis import Row
+from repro.baselines import dijkstra
+from repro.graph import random_digraph, zero_heavy_digraph
+from repro.limited import limited_sssp, weighted_bfs_limited
+
+
+def test_a3_weighted_bfs_table(benchmark):
+    def run():
+        rows = []
+        for n in (200, 800):
+            g = random_digraph(n, 5 * n, min_w=1, max_w=5, seed=1)
+            limit = 12
+            expected = dijkstra(g, 0, limit=limit).dist
+            wbfs = weighted_bfs_limited(g, 0, limit)
+            lsp = limited_sssp(g, 0, limit)
+            np.testing.assert_array_equal(wbfs.dist, expected)
+            np.testing.assert_array_equal(lsp.dist, expected)
+            rows.append(Row(
+                params={"n": n, "m": g.m, "L": limit},
+                values={"weighted_bfs_work": wbfs.cost.work,
+                        "limited_sp_work": lsp.cost.work,
+                        "overhead_factor":
+                            lsp.cost.work / max(wbfs.cost.work, 1)}))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(rows, "a3_weighted_bfs",
+               "A3 — LimitedSP vs weighted BFS (positive weights)")
+    assert all(r.values["overhead_factor"] > 3 for r in rows), \
+        "weighted BFS should be much cheaper when zeros are absent"
+
+
+def test_a3_zero_weights_need_limited_sp(benchmark):
+    g = zero_heavy_digraph(100, 500, p_zero=0.5, seed=2)
+    with pytest.raises(ValueError):
+        weighted_bfs_limited(g, 0, 8)
+    res = benchmark.pedantic(limited_sssp, args=(g, 0, 8),
+                             rounds=1, iterations=1)
+    np.testing.assert_array_equal(res.dist, dijkstra(g, 0, limit=8).dist)

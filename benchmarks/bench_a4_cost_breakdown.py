@@ -1,0 +1,18 @@
+"""A4 — where the work goes: per-stage shares of the full solver."""
+
+from _bench_utils import save_table
+from repro.analysis import run_cost_breakdown
+
+
+def test_a4_breakdown_table(benchmark):
+    rows = benchmark.pedantic(run_cost_breakdown,
+                              kwargs=dict(sizes=(128, 512)),
+                              rounds=1, iterations=1)
+    save_table(rows, "a4_cost_breakdown",
+               "A4 — per-stage work shares of solve_sssp")
+    for r in rows:
+        shares = [v for k, v in r.values.items() if k.endswith("_share")]
+        assert abs(sum(shares) - 1.0) < 1e-6
+        # Step 2 (peeling) and Step 1 (SCC) should be visible costs
+        assert r.values.get("dag01_share", 0) > 0.02
+        assert r.values.get("scc_share", 0) > 0.02

@@ -1,0 +1,49 @@
+"""A5 — the shortcutting trade-off behind the reachability black box.
+
+Jambulapati et al. achieve n^(1/2+o(1)) reachability span by adding
+diameter-reducing shortcuts at near-linear work.  Hub shortcuts realise the
+simplest version of that trade: the table sweeps hub counts on a
+high-diameter graph and reports measured BFS rounds (span side) against
+added edges (work side).
+"""
+
+import numpy as np
+
+from _bench_utils import save_table
+from repro.analysis import Row
+from repro.graph import DiGraph
+from repro.reach import (
+    build_hub_shortcuts,
+    multisource_reachability,
+)
+
+
+def test_a5_shortcut_tradeoff_table(benchmark):
+    n = 2000
+    g = DiGraph.from_edges(n, [(i, i + 1, 0) for i in range(n - 1)])
+
+    def run():
+        rows = []
+        base = multisource_reachability(g, np.array([0]))
+        rows.append(Row(params={"hubs": 0},
+                        values={"bfs_rounds": base.rounds,
+                                "added_edges": 0,
+                                "total_edges": g.m}))
+        for hubs in (2, 8, 32, 128):
+            sc = build_hub_shortcuts(g, hubs, seed=0)
+            res = multisource_reachability(sc.graph, np.array([0]))
+            np.testing.assert_array_equal(res.pi >= 0, base.pi >= 0)
+            rows.append(Row(params={"hubs": hubs},
+                            values={"bfs_rounds": res.rounds,
+                                    "added_edges": sc.added_edges,
+                                    "total_edges": sc.graph.m}))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(rows, "a5_shortcut_tradeoff",
+               "A5 — hub shortcuts: BFS rounds vs added edges (n=2000 path)")
+    rounds = [r.values["bfs_rounds"] for r in rows]
+    edges = [r.values["added_edges"] for r in rows]
+    assert rounds[0] >= n - 1
+    assert rounds[-1] < rounds[0] / 20      # span side collapses
+    assert all(a <= b for a, b in zip(edges, edges[1:]))  # work side grows

@@ -1,0 +1,26 @@
+"""E1 — Theorem 8 / Lemma 7: §3 peeling work is Õ(m).
+
+Regenerates the work-vs-m series on layered {0,−1} DAGs with L = ⌈√n⌉ and
+asserts the fitted scaling exponent stays near 1 (linear + logs).
+"""
+
+from _bench_utils import save_table
+from repro.analysis import fit_exponent, run_dag01_work_scaling
+from repro.dag01 import dag01_limited_sssp
+from repro.graph import layered_dag
+
+
+def test_e01_work_scaling_table(benchmark):
+    rows = benchmark.pedantic(run_dag01_work_scaling, kwargs=dict(sizes=(200, 400, 800, 1600, 3200)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e01_dag01_work",
+               "E1 — §3 peeling work vs m (claim: Õ(m))")
+    exp = fit_exponent([r.params["m"] for r in rows],
+                       [r.values["work"] for r in rows])
+    assert 0.8 < exp < 1.45, f"work no longer near-linear in m: {exp:.2f}"
+
+
+def test_e01_peeling_benchmark(benchmark):
+    g = layered_dag(20, 30, p_negative=0.5, seed=0)
+    res = benchmark(dag01_limited_sssp, g, 0, 20, seed=0)
+    assert res.rounds > 0

@@ -1,0 +1,26 @@
+"""E2 — Theorem 8: §3 peeling span scales like √L·n^(1/2+o(1)).
+
+Sweeps the distance limit L at fixed n and checks the model-span growth
+exponent in L stays close to 1/2.
+"""
+
+from _bench_utils import save_table
+from repro.analysis import fit_exponent, run_dag01_span_scaling
+from repro.dag01 import dag01_limited_sssp
+from repro.graph import layered_dag
+
+
+def test_e02_span_scaling_table(benchmark):
+    rows = benchmark.pedantic(run_dag01_span_scaling, kwargs=dict(layers_list=(4, 8, 16, 32, 64), width=40),
+                              rounds=1, iterations=1)
+    save_table(rows, "e02_dag01_span",
+               "E2 — §3 peeling span vs L (claim: √L·n^(1/2+o(1)))")
+    exp = fit_exponent([r.params["L"] for r in rows],
+                       [r.values["span_model"] for r in rows])
+    assert 0.25 < exp < 0.9, f"span exponent in L drifted: {exp:.2f}"
+
+
+def test_e02_deep_instance_benchmark(benchmark):
+    g = layered_dag(40, 12, p_negative=0.9, seed=1)
+    res = benchmark(dag01_limited_sssp, g, 0, 40, seed=1)
+    assert res.rounds > 10

@@ -1,0 +1,20 @@
+"""E3 — Corollary 6: each vertex's label changes O(log² n) times whp."""
+
+from _bench_utils import save_table
+from repro.analysis import run_label_changes
+
+
+def test_e03_label_changes_table(benchmark):
+    rows = benchmark.pedantic(run_label_changes, kwargs=dict(sizes=(100, 400, 1600, 6400)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e03_label_changes",
+               "E3 — label changes per vertex (claim: O(log² n))")
+    for r in rows:
+        assert r.values["ratio_max_over_log2sq"] < 4.0, r.flat()
+
+
+def test_e03_worst_vertex_benchmark(benchmark):
+    def run():
+        return run_label_changes(sizes=(400,))[0].values["label_changes_max"]
+
+    assert benchmark(run) >= 1

@@ -1,0 +1,33 @@
+"""E4 — §3.1 ablation: labelled peeling vs naive per-round reachability.
+
+Who wins: the naive algorithm pays Θ(L·m) reachability work, so peeling
+wins on deep instances, by a factor growing with L.
+"""
+
+from _bench_utils import save_table
+from repro.analysis import run_peeling_vs_naive
+from repro.dag01 import dag01_limited_sssp, dag01_limited_sssp_naive
+from repro.graph import negative_chain_gadget
+
+
+def test_e04_comparison_table(benchmark):
+    rows = benchmark.pedantic(run_peeling_vs_naive, kwargs=dict(depths=(10, 30, 90, 270)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e04_peeling_vs_naive",
+               "E4 — peeling vs naive peeling (work)")
+    ratios = [r.values["work_ratio_naive_over_peeling"] for r in rows]
+    assert ratios[-1] > ratios[0], "naive should degrade with depth"
+    assert ratios[-1] > 1.5, "peeling should win clearly at depth 270"
+    # reachability volume: the quantity Lemma 7 actually bounds
+    assert rows[-1].values["peeling_reach_nodes"] * 5 < \
+        rows[-1].values["naive_reach_nodes"]
+
+
+def test_e04_peeling_benchmark(benchmark):
+    g = negative_chain_gadget(60, tail=3, seed=0)
+    benchmark(dag01_limited_sssp, g, 0, 60, seed=0)
+
+
+def test_e04_naive_benchmark(benchmark):
+    g = negative_chain_gadget(60, tail=3, seed=0)
+    benchmark(dag01_limited_sssp_naive, g, 0, 60)

@@ -1,0 +1,22 @@
+"""E5 — Theorem 15: §4 LimitedSP runs in Õ(m) work, √L·n^(1/2+o(1)) span."""
+
+from _bench_utils import save_table
+from repro.analysis import fit_exponent, run_limited_work_span
+from repro.graph import zero_heavy_digraph
+from repro.limited import limited_sssp
+
+
+def test_e05_work_span_table(benchmark):
+    rows = benchmark.pedantic(run_limited_work_span, kwargs=dict(sizes=(200, 400, 800, 1600)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e05_limited_work_span",
+               "E5 — §4 LimitedSP work/span scaling (Theorem 15)")
+    exp = fit_exponent([r.params["m"] for r in rows],
+                       [r.values["work"] for r in rows])
+    assert 0.7 < exp < 1.5, f"work exponent in m drifted: {exp:.2f}"
+
+
+def test_e05_limited_benchmark(benchmark):
+    g = zero_heavy_digraph(300, 1500, p_zero=0.4, seed=0)
+    res = benchmark(limited_sssp, g, 0, 17)
+    assert res.verified

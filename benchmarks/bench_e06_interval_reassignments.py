@@ -1,0 +1,21 @@
+"""E6 — Lemma 13: each vertex joins O(lg² D) refinement graphs."""
+
+from _bench_utils import save_table
+from repro.analysis import run_interval_reassignments
+
+
+def test_e06_interval_table(benchmark):
+    rows = benchmark.pedantic(run_interval_reassignments, kwargs=dict(limits=(4, 16, 64, 256)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e06_interval_reassignments",
+               "E6 — interval additions per vertex (claim: O(lg² D))")
+    for r in rows:
+        assert r.values["ratio_max_over_log2sq"] < 3.0, r.flat()
+
+
+def test_e06_reassignment_benchmark(benchmark):
+    def run():
+        return run_interval_reassignments(limits=(64,), n=200)
+
+    rows = benchmark(run)
+    assert rows[0].values["additions_max"] >= 1

@@ -1,0 +1,20 @@
+"""E7 — Theorem 16: one √k-improvement eliminates ≥ ⌈√k⌉ negative vertices."""
+
+from _bench_utils import save_table
+from repro.analysis import run_sqrt_k_progress
+from repro.core import sqrt_k_improvement
+from repro.graph import negative_chain_gadget
+
+
+def test_e07_progress_table(benchmark):
+    rows = benchmark.pedantic(run_sqrt_k_progress, kwargs=dict(ks=(9, 25, 100, 400, 1600)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e07_sqrt_k_improvement",
+               "E7 — negative vertices eliminated per improvement")
+    assert all(r.values["meets_bound"] for r in rows)
+
+
+def test_e07_improvement_benchmark(benchmark):
+    g = negative_chain_gadget(100, tail=2, seed=0)
+    out = benchmark(sqrt_k_improvement, g, g.w)
+    assert out.improved >= 10

@@ -1,0 +1,25 @@
+"""E8 — Algorithm 4: 1-reweighting ends within O(√K) improvement rounds."""
+
+import math
+
+from _bench_utils import save_table
+from repro.analysis import run_reweighting_iterations
+from repro.core import one_reweighting
+from repro.graph import random_dag
+
+
+def test_e08_iterations_table(benchmark):
+    rows = benchmark.pedantic(run_reweighting_iterations, kwargs=dict(sizes=(50, 200, 800, 3200)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e08_reweighting_iterations",
+               "E8 — 1-reweighting iterations vs K (claim: O(√K))")
+    for r in rows:
+        K = max(r.params["K"], 1)
+        assert r.values["iterations"] <= 4 * math.sqrt(K) + 4, r.flat()
+
+
+def test_e08_reweighting_benchmark(benchmark):
+    g = random_dag(300, 1500, weights=(0, -1, 1, 2),
+                   weight_probs=(0.3, 0.3, 0.2, 0.2), seed=0)
+    res = benchmark(one_reweighting, g, seed=0)
+    assert res.feasible

@@ -1,0 +1,35 @@
+"""E9 — Theorem 17 headline: Õ(m√n log N) work vs Bellman–Ford's Θ(nm).
+
+On BF-adversarial graphs (hop diameter Θ(n)) the work ratio
+BF/Goldberg grows like ~√n; under this cost model the crossover lands
+near n ≈ 10³.
+"""
+
+from _bench_utils import save_table
+from repro.analysis import fit_exponent, run_goldberg_vs_bellman_ford
+from repro.baselines import bellman_ford
+from repro.core import solve_sssp
+from repro.graph import bf_hard_graph
+
+
+def test_e09_headline_table(benchmark):
+    rows = benchmark.pedantic(run_goldberg_vs_bellman_ford, kwargs=dict(sizes=(128, 256, 512, 1024, 2048, 4096)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e09_goldberg_vs_bellman_ford",
+               "E9 — parallel Goldberg vs Bellman–Ford (model work)")
+    ratios = [r.values["work_ratio_bf_over_goldberg"] for r in rows]
+    exp = fit_exponent([r.params["n"] for r in rows], ratios)
+    assert 0.3 < exp < 0.9, f"ratio exponent drifted: {exp:.2f}"
+    assert ratios[-1] > 1.5, "Goldberg should win clearly at n=4096"
+
+
+def test_e09_goldberg_benchmark(benchmark):
+    g = bf_hard_graph(400, 1200, seed=0)
+    res = benchmark(solve_sssp, g, 0)
+    assert not res.has_negative_cycle
+
+
+def test_e09_bellman_ford_benchmark(benchmark):
+    g = bf_hard_graph(400, 1200, seed=0)
+    res = benchmark(bellman_ford, g, 0)
+    assert not res.has_negative_cycle

@@ -1,0 +1,17 @@
+"""E10 — Theorem 17: span n^(5/4+o(1))·log N; parallelism ≥ m^(1/4−o(1))."""
+
+from _bench_utils import save_table
+from repro.analysis import fit_exponent, run_span_parallelism
+
+
+def test_e10_parallelism_table(benchmark):
+    rows = benchmark.pedantic(run_span_parallelism, kwargs=dict(sizes=(64, 128, 256, 512, 1024)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e10_span_parallelism",
+               "E10 — span & parallelism of the full solver")
+    # parallelism should grow with m and stay above ~m^(1/4) asymptotics
+    last = rows[-1]
+    assert last.values["parallelism_over_m_quarter"] > 0.5
+    exp = fit_exponent([r.params["m"] for r in rows],
+                       [r.values["parallelism"] for r in rows])
+    assert exp > 0.15, f"parallelism stopped growing with m: {exp:.2f}"

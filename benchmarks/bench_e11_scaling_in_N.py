@@ -1,0 +1,16 @@
+"""E11 — §5: O(log N) scaling rounds; work grows ~logarithmically in N."""
+
+from _bench_utils import save_table
+from repro.analysis import run_scaling_in_n
+
+
+def test_e11_scaling_table(benchmark):
+    rows = benchmark.pedantic(run_scaling_in_n, kwargs=dict(spreads=(2, 8, 32, 128, 512, 2048)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e11_scaling_in_N",
+               "E11 — scaling rounds vs weight magnitude N")
+    for r in rows:
+        assert r.values["scales"] <= r.values["log2_N"] + 2, r.flat()
+    # scales strictly increase across the sweep
+    s = [r.values["scales"] for r in rows]
+    assert s == sorted(s) and s[-1] > s[0]

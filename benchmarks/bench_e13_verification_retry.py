@@ -1,0 +1,17 @@
+"""E13 — §4.2: verification catches faulty ASSSP; retries preserve
+correctness."""
+
+from _bench_utils import save_table
+from repro.analysis import run_verification_retry
+
+
+def test_e13_retry_table(benchmark):
+    rows = benchmark.pedantic(run_verification_retry, kwargs=dict(p_fails=(0.0, 0.05, 0.15, 0.3)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e13_verification_retry",
+               "E13 — flaky-ASSSP failure probability vs retries")
+    assert all(r.values["correct"] for r in rows)
+    assert rows[0].values["retries"] == 0          # exact path never retries
+    assert rows[-1].values["engine_failures"] >= 1
+    # at least one failure-injected row had to retry
+    assert max(r.values["retries"] for r in rows[1:]) >= 1

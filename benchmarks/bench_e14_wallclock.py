@@ -1,0 +1,53 @@
+"""E14 — wall-clock sanity on this host (single core, GIL).
+
+pytest-benchmark timings of every solver on one shared mid-size workload.
+Absolute times are host-specific; the point is a like-for-like comparison
+and a regression guard.
+"""
+
+import pytest
+
+from repro.assp import DeltaSteppingAssp, ExactAssp
+from repro.baselines import bellman_ford, dijkstra, johnson_potential
+from repro.core import solve_sssp
+from repro.graph import hidden_potential_graph, zero_heavy_digraph
+from repro.limited import limited_sssp
+
+G_NEG = hidden_potential_graph(300, 1200, potential_spread=24, seed=0)
+G_NONNEG = zero_heavy_digraph(300, 1500, p_zero=0.4, seed=0)
+
+
+def test_wallclock_goldberg_parallel(benchmark):
+    res = benchmark(solve_sssp, G_NEG, 0, mode="parallel")
+    assert not res.has_negative_cycle
+
+
+def test_wallclock_goldberg_sequential(benchmark):
+    res = benchmark(solve_sssp, G_NEG, 0, mode="sequential")
+    assert not res.has_negative_cycle
+
+
+def test_wallclock_bellman_ford(benchmark):
+    res = benchmark(bellman_ford, G_NEG, 0)
+    assert not res.has_negative_cycle
+
+
+def test_wallclock_johnson(benchmark):
+    res = benchmark(johnson_potential, G_NEG)
+    assert res.price is not None
+
+
+def test_wallclock_dijkstra(benchmark):
+    res = benchmark(dijkstra, G_NONNEG, 0)
+    assert res.dist is not None
+
+
+def test_wallclock_limited_exact(benchmark):
+    res = benchmark(limited_sssp, G_NONNEG, 0, 12, engine=ExactAssp())
+    assert res.verified
+
+
+def test_wallclock_limited_delta_stepping(benchmark):
+    res = benchmark(limited_sssp, G_NONNEG, 0, 12,
+                    engine=DeltaSteppingAssp())
+    assert res.verified

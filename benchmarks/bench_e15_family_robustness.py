@@ -1,0 +1,22 @@
+"""E15 — robustness across graph families.
+
+The paper's bounds are instance-independent; this table runs the solver on
+five structurally different negative-weight families (random, BF-hard
+path-like, geometric/road-like, power-law/hub-dominated, DAG-ish) and
+checks correctness plus how structure moves the constants.
+"""
+
+from _bench_utils import save_table
+from repro.analysis import run_family_robustness
+
+
+def test_e15_family_table(benchmark):
+    rows = benchmark.pedantic(run_family_robustness, kwargs=dict(n=400),
+                              rounds=1, iterations=1)
+    save_table(rows, "e15_family_robustness",
+               "E15 — solver across graph families (n=400)")
+    assert all(r.values["correct"] for r in rows)
+    # BF-hard is the family where Bellman-Ford suffers most
+    by = {r.params["family"]: r.values for r in rows}
+    assert by["bf-hard"]["bf_rounds"] == max(v["bf_rounds"]
+                                             for v in by.values())

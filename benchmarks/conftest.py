@@ -1,0 +1,6 @@
+"""pytest hook point for the benchmark suite (helpers in _bench_utils)."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,90 @@
+"""Currency arbitrage detection via negative-cycle reporting.
+
+A classic application of SSSP with negative weights: an exchange-rate table
+admits arbitrage iff the graph with edge weights ``−log(rate)`` has a
+negative cycle.  We scale the logs to integers (the paper's algorithms take
+integer weights; the scaling preserves cycle signs up to quantisation) and
+let the solver either certify "no arbitrage" with a feasible price function
+or hand back the profitable cycle.
+
+Run:  python examples/currency_arbitrage.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import DiGraph, solve_sssp
+from repro.graph import validate_negative_cycle
+
+SCALE = 100_000  # integer quantisation of -log(rate)
+
+
+def build_market(currencies: list[str],
+                 rates: dict[tuple[str, str], float]) -> DiGraph:
+    index = {c: i for i, c in enumerate(currencies)}
+    edges = []
+    for (a, b), r in rates.items():
+        # weight = -log(rate); rounding *down* makes detection slightly
+        # conservative toward reporting profit only when it survives
+        # quantisation
+        w = math.floor(-math.log(r) * SCALE)
+        edges.append((index[a], index[b], w))
+    return DiGraph.from_edges(len(currencies), edges)
+
+
+def find_arbitrage(currencies, rates, seed=0):
+    g = build_market(currencies, rates)
+    res = solve_sssp(g, source=0, seed=seed)
+    if not res.has_negative_cycle:
+        return None
+    assert validate_negative_cycle(g, res.negative_cycle)
+    cycle = [currencies[v] for v in res.negative_cycle]
+    profit = 1.0
+    cyc = res.negative_cycle
+    for i, v in enumerate(cyc):
+        u = currencies[v]
+        w = currencies[cyc[(i + 1) % len(cyc)]]
+        profit *= rates[(u, w)]
+    return cycle, profit
+
+
+CURRENCIES = ["USD", "EUR", "GBP", "JPY", "CHF"]
+
+# a consistent market: rates derived from one true valuation, with a spread
+# taken on every trade => no arbitrage possible
+VALUE = {"USD": 1.0, "EUR": 1.08, "GBP": 1.27, "JPY": 0.0067, "CHF": 1.12}
+consistent = {}
+for a in CURRENCIES:
+    for b in CURRENCIES:
+        if a != b:
+            consistent[(a, b)] = (VALUE[a] / VALUE[b]) * 0.995  # 0.5% spread
+
+print("consistent market:", find_arbitrage(CURRENCIES, consistent))
+assert find_arbitrage(CURRENCIES, consistent) is None
+
+# now a mispriced triangle: EUR->GBP is quoted too generously
+mispriced = dict(consistent)
+mispriced[("EUR", "GBP")] = consistent[("EUR", "GBP")] * 1.03
+result = find_arbitrage(CURRENCIES, mispriced)
+assert result is not None
+cycle, profit = result
+print(f"arbitrage cycle: {' -> '.join(cycle + [cycle[0]])}")
+print(f"profit per unit: {profit - 1:.4%}")
+assert profit > 1.0
+
+# stress: a random 40-currency market with one planted mispricing
+rng = np.random.default_rng(7)
+names = [f"C{i:02d}" for i in range(40)]
+value = {c: float(np.exp(rng.normal(0, 1))) for c in names}
+market = {}
+for a in names:
+    for b in rng.choice([c for c in names if c != a], size=8, replace=False):
+        market[(a, str(b))] = value[a] / value[str(b)] * 0.99
+a, b = names[3], names[17]
+market[(a, b)] = value[a] / value[b] * 1.05  # mispricing
+found = find_arbitrage(names, market, seed=1)
+assert found is not None
+print(f"planted mispricing found: {' -> '.join(found[0])} "
+      f"(profit {found[1] - 1:.3%})")
+print("arbitrage example OK")

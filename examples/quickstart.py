@@ -1,0 +1,76 @@
+"""Quickstart: solve SSSP with negative weights, inspect costs and certificates.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import DiGraph, solve_sssp
+from repro.graph import is_feasible_price, validate_negative_cycle
+
+# ---------------------------------------------------------------------------
+# 1. A small graph with negative edges (but no negative cycle)
+# ---------------------------------------------------------------------------
+#        4          -7
+#   0 ───────▶ 1 ───────▶ 2
+#   │                     ▲
+#   └──────── 1 ──────────┘
+g = DiGraph.from_edges(4, [
+    (0, 1, 4),
+    (1, 2, -7),
+    (0, 2, 1),
+    (2, 3, 2),
+])
+
+res = solve_sssp(g, source=0)
+print("distances:", res.dist)             # [ 0.  4. -3. -1.]
+assert res.dist.tolist() == [0, 4, -3, -1]
+
+# the result carries a *certificate*: a feasible price function proving
+# there is no negative cycle (Johnson-style reweighting)
+assert is_feasible_price(g, res.price)
+print("feasible price function:", res.price)
+
+# shortest paths are recoverable from the parent tree
+v = 3
+path = [v]
+while res.parent[v] >= 0:
+    v = int(res.parent[v])
+    path.append(v)
+print("shortest path to 3:", path[::-1])
+
+# ---------------------------------------------------------------------------
+# 2. Work/span accounting — the binary-forking model ledger
+# ---------------------------------------------------------------------------
+print(f"\nmodel work      : {res.cost.work:,.0f}")
+print(f"model span      : {res.cost.span_model:,.0f}")
+print(f"parallelism     : {res.cost.parallelism:,.1f}")
+print("scales run      :", res.stats.scales)
+
+# ---------------------------------------------------------------------------
+# 3. Negative-cycle detection with a validated certificate
+# ---------------------------------------------------------------------------
+bad = DiGraph.from_edges(3, [(0, 1, 2), (1, 2, -3), (2, 1, 1),
+                             (2, 0, 5)])
+res2 = solve_sssp(bad, source=0)
+assert res2.has_negative_cycle
+print("\nnegative cycle found:", res2.negative_cycle)
+assert validate_negative_cycle(bad, res2.negative_cycle)
+print("certificate validates: total weight "
+      f"{sum(bad.min_weight_between(res2.negative_cycle[i], res2.negative_cycle[(i + 1) % len(res2.negative_cycle)]) for i in range(len(res2.negative_cycle)))}")
+
+# ---------------------------------------------------------------------------
+# 4. The two distance-limited subroutines are public API too
+# ---------------------------------------------------------------------------
+from repro import dag01_limited_sssp, limited_sssp  # noqa: E402
+from repro.graph import negative_chain_gadget, zero_heavy_digraph  # noqa: E402
+
+dag = negative_chain_gadget(6, tail=2, seed=0)
+d = dag01_limited_sssp(dag, 0, limit=4)
+print("\nDAG {0,-1} distances (limit 4):", d.dist[:8], "...")
+
+nn = zero_heavy_digraph(30, 120, p_zero=0.5, seed=1)
+lim = limited_sssp(nn, 0, limit=6)
+print("nonnegative distance-limited (limit 6):",
+      lim.dist[np.isfinite(lim.dist)].astype(int)[:10], "...")
+print("\nquickstart OK")

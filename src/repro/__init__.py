@@ -1,0 +1,49 @@
+"""repro — Parallel Shortest Paths with Negative Edge Weights (SPAA 2022).
+
+A full reproduction of Cao, Fineman & Russell's parallel Goldberg scaling
+algorithm: single-source shortest paths with integer (possibly negative)
+edge weights in ``Õ(m·√n·log N)`` work and ``n^(5/4+o(1))·log N`` span,
+built on two distance-limited SSSP subroutines (§3, §4), executed on a
+binary-forking work-span cost-model runtime.
+
+Quick start::
+
+    from repro import DiGraph, solve_sssp
+    g = DiGraph.from_edges(3, [(0, 1, 4), (1, 2, -7), (0, 2, 1)])
+    res = solve_sssp(g, source=0)
+    res.dist          # array([ 0.,  4., -3.])
+
+See README.md, DESIGN.md and EXPERIMENTS.md.
+"""
+
+from . import analysis, assp, baselines, core, dag01, graph, limited, reach, runtime
+from .core import SsspResult, solve_sssp
+from .dag01 import Dag01Result, dag01_limited_sssp
+from .graph import DiGraph
+from .limited import LimitedSpResult, limited_sssp
+from .runtime import Cost, CostAccumulator, CostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "solve_sssp",
+    "SsspResult",
+    "dag01_limited_sssp",
+    "Dag01Result",
+    "limited_sssp",
+    "LimitedSpResult",
+    "DiGraph",
+    "Cost",
+    "CostAccumulator",
+    "CostModel",
+    "analysis",
+    "assp",
+    "baselines",
+    "core",
+    "dag01",
+    "graph",
+    "limited",
+    "reach",
+    "runtime",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Experiment harness and table rendering for EXPERIMENTS.md."""
+
+from .experiments import (
+    Row,
+    fit_exponent,
+    run_dag01_span_scaling,
+    run_dag01_work_scaling,
+    run_goldberg_vs_bellman_ford,
+    run_interval_reassignments,
+    run_label_changes,
+    run_limited_work_span,
+    run_negative_cycle_detection,
+    run_peeling_vs_naive,
+    run_reweighting_iterations,
+    run_scaling_in_n,
+    run_span_parallelism,
+    run_sqrt_k_progress,
+    run_verification_retry,
+    run_cost_breakdown,
+    run_family_robustness,
+)
+from .report import generate_report, write_report
+from .tables import print_table, render_table
+
+__all__ = [
+    "Row",
+    "fit_exponent",
+    "render_table",
+    "print_table",
+    "run_dag01_work_scaling",
+    "run_dag01_span_scaling",
+    "run_label_changes",
+    "run_peeling_vs_naive",
+    "run_limited_work_span",
+    "run_interval_reassignments",
+    "run_sqrt_k_progress",
+    "run_reweighting_iterations",
+    "run_goldberg_vs_bellman_ford",
+    "run_span_parallelism",
+    "run_scaling_in_n",
+    "run_negative_cycle_detection",
+    "run_verification_retry",
+    "run_cost_breakdown",
+    "run_family_robustness",
+    "generate_report",
+    "write_report",
+]

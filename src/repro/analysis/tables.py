@@ -1,0 +1,54 @@
+"""Plain-text table rendering for experiment rows.
+
+Benchmarks print the same rows EXPERIMENTS.md records; no plotting
+dependencies, just aligned monospace columns suitable for a paper appendix
+or terminal diffing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .experiments import Row
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, dict):
+        return ",".join(f"{k}:{v}" for k, v in sorted(value.items()))
+    return str(value)
+
+
+def render_table(rows: Iterable[Row], title: str | None = None) -> str:
+    """Aligned text table over the union of row keys."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    cols: list[str] = []
+    for r in rows:
+        for k in r.flat():
+            if k not in cols:
+                cols.append(k)
+    table = [[_fmt(r.flat().get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(t[i]) for t in table))
+              for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.rjust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for t in table:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(t, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Iterable[Row], title: str | None = None) -> None:
+    print()
+    print(render_table(rows, title))

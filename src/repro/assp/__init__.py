@@ -1,0 +1,19 @@
+"""Approximate-SSSP black-box engines (§2, used by §4)."""
+
+from .hopset import HopsetAssp
+from .engines import (
+    DeltaSteppingAssp,
+    ExactAssp,
+    FlakyAssp,
+    PerturbedAssp,
+    get_engine,
+)
+
+__all__ = [
+    "ExactAssp",
+    "PerturbedAssp",
+    "DeltaSteppingAssp",
+    "FlakyAssp",
+    "HopsetAssp",
+    "get_engine",
+]

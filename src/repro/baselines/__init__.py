@@ -1,0 +1,28 @@
+"""Baseline algorithms: test oracles and the paper's comparison points."""
+
+from .bellman_ford import (
+    BellmanFordResult,
+    bellman_ford,
+    bellman_ford_distance_only,
+)
+from .bellman_ford_threaded import bellman_ford_threaded
+from .dag_relax import DagSsspResult, dag_limited_sssp_reference, dag_sssp
+from .dial import DialResult, dial_sssp
+from .dijkstra import DijkstraResult, dijkstra
+from .johnson import PotentialResult, johnson_potential
+
+__all__ = [
+    "BellmanFordResult",
+    "bellman_ford",
+    "bellman_ford_distance_only",
+    "bellman_ford_threaded",
+    "DialResult",
+    "dial_sssp",
+    "DagSsspResult",
+    "dag_sssp",
+    "dag_limited_sssp_reference",
+    "DijkstraResult",
+    "dijkstra",
+    "PotentialResult",
+    "johnson_potential",
+]

@@ -1,0 +1,187 @@
+"""Bellman–Ford: the classic O(nm) baseline (paper §1).
+
+Vectorised Jacobi-style rounds (`numpy.minimum.at` over all edges at once)
+— exactly the "trivially parallel" version the paper credits with work
+``O(mn)`` and span ``O(n log n)``; the cost accumulator charges that model.
+Also provides negative-cycle extraction, used as the library's independent
+cycle oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..runtime.metrics import Cost, CostAccumulator
+from ..runtime.model import CostModel, DEFAULT_MODEL
+
+
+@dataclass
+class BellmanFordResult:
+    """Distances, predecessor tree, and negative-cycle certificate.
+
+    ``dist`` is float64: ``+inf`` for unreachable vertices.  When
+    ``negative_cycle`` is not None the distances are not meaningful for
+    vertices that can reach/are reached through the cycle.
+    """
+
+    dist: np.ndarray
+    parent: np.ndarray
+    negative_cycle: list[int] | None
+    rounds: int
+    cost: Cost
+
+    @property
+    def has_negative_cycle(self) -> bool:
+        return self.negative_cycle is not None
+
+
+def bellman_ford(g: DiGraph, source: int, weights: np.ndarray | None = None,
+                 model: CostModel = DEFAULT_MODEL) -> BellmanFordResult:
+    """Single-source shortest paths tolerating negative integer weights.
+
+    Runs at most ``n`` relaxation rounds with early exit; a relaxation in
+    round ``n`` certifies a negative cycle *reachable from the source*,
+    which is then extracted by walking predecessor pointers.
+    """
+    if not (0 <= source < g.n):
+        raise ValueError("source out of range")
+    w = (g.w if weights is None else np.asarray(weights, dtype=np.int64)
+         ).astype(np.float64)
+    acc = CostAccumulator()
+    dist = np.full(g.n, np.inf)
+    dist[source] = 0.0
+    parent = np.full(g.n, -1, dtype=np.int64)
+    rounds = 0
+    changed = True
+    while changed and rounds < g.n:
+        changed = _relax_round(g, w, dist, parent, acc, model)
+        rounds += 1
+    cycle = None
+    if changed:  # still relaxing after n rounds: negative cycle
+        cycle = _extract_cycle(g, w, dist, parent, acc, model)
+    return BellmanFordResult(dist, parent, cycle, rounds, acc.snapshot())
+
+
+def _relax_round(g: DiGraph, w: np.ndarray, dist: np.ndarray,
+                 parent: np.ndarray, acc: CostAccumulator,
+                 model: CostModel) -> bool:
+    """One Jacobi relaxation over all edges; True if any distance improved."""
+    acc.charge_cost(model.map(g.m))
+    if g.m == 0:
+        return False
+    du = dist[g.src]
+    cand = du + w
+    new_dist = dist.copy()
+    np.minimum.at(new_dist, g.dst, cand)
+    improved_v = new_dist < dist
+    if not improved_v.any():
+        return False
+    # set parents: any edge achieving the new (strictly better) distance
+    tight = np.isfinite(cand) & (cand == new_dist[g.dst]) & improved_v[g.dst]
+    parent[g.dst[tight]] = g.src[tight]
+    dist[:] = new_dist
+    return True
+
+
+def _extract_cycle(g: DiGraph, w: np.ndarray, dist: np.ndarray,
+                   parent: np.ndarray, acc: CostAccumulator,
+                   model: CostModel) -> list[int]:
+    """Extract a negative cycle once one is known to exist.
+
+    Fast path: walk predecessor pointers from each still-relaxing vertex with
+    a visited stamp; any parent-chain loop is a candidate, accepted only if
+    it validates as negative against ``w``.  If the Jacobi parent pointers
+    happen not to contain a negative loop (possible in pathological
+    simultaneous-update schedules), fall back to a provably correct
+    sequential extractor on the affected subgraph.
+    """
+    from ..graph.validate import validate_negative_cycle
+
+    du = dist[g.src]
+    cand = du + w
+    relaxing = np.unique(g.dst[np.isfinite(cand) & (cand < dist[g.dst])])
+    acc.charge(2 * g.n, 2 * g.n)  # sequential pointer walks
+    stamp = np.full(g.n, -1, dtype=np.int64)
+    for trial, v0 in enumerate(relaxing.tolist()):
+        v = int(v0)
+        while v != -1 and stamp[v] != trial:
+            stamp[v] = trial
+            v = int(parent[v])
+        if v == -1:
+            continue
+        # v starts a loop in the parent chain
+        cycle = [v]
+        u = int(parent[v])
+        while u != v:
+            cycle.append(u)
+            u = int(parent[u])
+        cycle.reverse()
+        if validate_negative_cycle(g, cycle, w.astype(np.int64)):
+            return cycle
+    return _extract_cycle_sequential(g, w, acc)
+
+
+def _extract_cycle_sequential(g: DiGraph, w: np.ndarray,
+                              acc: CostAccumulator) -> list[int]:
+    """Provably correct extraction via sequential (Gauss–Seidel) relaxation.
+
+    Relax edges one at a time from a virtual zero source; whenever setting
+    ``parent[v] = u`` closes a loop in the predecessor graph, that loop has
+    negative weight (CLRS Lemma 24.17 applies to sequential relaxations).
+    Only invoked as a fallback after detection, so the extra O(n·m) sweep is
+    a one-off.
+    """
+    dist = np.zeros(g.n)  # virtual source with 0-weight edge to everyone
+    parent = np.full(g.n, -1, dtype=np.int64)
+    src, dst = g.src.tolist(), g.dst.tolist()
+    wl = w.tolist()
+    for _ in range(g.n + 1):
+        acc.charge(g.m, g.m)
+        changed = False
+        for e in range(g.m):
+            u, v = src[e], dst[e]
+            nd = dist[u] + wl[e]
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                changed = True
+                # did this close a predecessor loop through v?
+                x = u
+                steps = 0
+                while x != -1 and steps <= g.n:
+                    if x == v:
+                        cycle = [v]
+                        y = u
+                        while y != v:
+                            cycle.append(y)
+                            y = int(parent[y])
+                        cycle.reverse()
+                        return cycle
+                    x = int(parent[x])
+                    steps += 1
+        if not changed:
+            break
+    raise RuntimeError("negative cycle detected but extraction failed")
+
+
+def bellman_ford_distance_only(g: DiGraph, source: int,
+                               weights: np.ndarray | None = None,
+                               max_rounds: int | None = None) -> np.ndarray:
+    """Distances after ``max_rounds`` (default n) rounds; no cycle check.
+
+    Handy oracle for hop-limited / distance-limited comparisons in tests.
+    """
+    w = (g.w if weights is None else np.asarray(weights, dtype=np.int64)
+         ).astype(np.float64)
+    dist = np.full(g.n, np.inf)
+    dist[source] = 0.0
+    parent = np.full(g.n, -1, dtype=np.int64)
+    acc = CostAccumulator()
+    rounds = max_rounds if max_rounds is not None else g.n
+    for _ in range(rounds):
+        if not _relax_round(g, w, dist, parent, acc, DEFAULT_MODEL):
+            break
+    return dist

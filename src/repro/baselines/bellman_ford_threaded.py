@@ -1,0 +1,66 @@
+"""Bellman–Ford with real-thread relaxation — a live parallel-for demo.
+
+The relaxation map (``cand = dist[src] + w`` over all edges) is
+embarrassingly parallel, so this variant block-partitions the edge array
+over :class:`repro.runtime.executor.ForkJoinPool` threads; each block
+writes its candidates into a disjoint slice (no synchronisation), and the
+min-merge (`np.minimum.at`) runs on the main thread.
+
+Under CPython's GIL the speed-up comes only from numpy kernels releasing
+the GIL, which these small kernels barely do — on this project's reference
+host (1 core) it exists to *demonstrate and test* the fork-join structure,
+not to win benchmarks.  See the HPC notes in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..runtime.executor import ForkJoinPool
+from .bellman_ford import BellmanFordResult, bellman_ford
+
+
+def bellman_ford_threaded(g: DiGraph, source: int,
+                          pool: ForkJoinPool | None = None,
+                          weights: np.ndarray | None = None,
+                          grain: int = 4096) -> BellmanFordResult:
+    """Same contract as :func:`repro.baselines.bellman_ford`."""
+    if not (0 <= source < g.n):
+        raise ValueError("source out of range")
+    if pool is None:
+        return bellman_ford(g, source, weights)
+    w = (g.w if weights is None else np.asarray(weights, dtype=np.int64)
+         ).astype(np.float64)
+    dist = np.full(g.n, np.inf)
+    dist[source] = 0.0
+    parent = np.full(g.n, -1, dtype=np.int64)
+    cand = np.empty(g.m)
+    src, dst = g.src, g.dst
+    rounds = 0
+    changed = True
+    while changed and rounds < g.n:
+        rounds += 1
+
+        def body(lo: int, hi: int) -> None:
+            np.add(dist[src[lo:hi]], w[lo:hi], out=cand[lo:hi])
+
+        pool.parallel_for(g.m, body, grain=grain)
+        new_dist = dist.copy()
+        np.minimum.at(new_dist, dst, cand)
+        improved = new_dist < dist
+        changed = bool(improved.any())
+        if changed:
+            tight = np.isfinite(cand) & (cand == new_dist[dst]) & improved[dst]
+            parent[dst[tight]] = src[tight]
+            dist = new_dist
+    cycle = None
+    if changed:
+        # delegate detection/extraction to the reference implementation
+        ref = bellman_ford(g, source, weights)
+        return ref
+    from ..runtime.metrics import Cost
+
+    return BellmanFordResult(dist, parent, cycle, rounds,
+                             Cost(rounds * max(g.m, 1),
+                                  rounds * np.log2(g.n + 2)))

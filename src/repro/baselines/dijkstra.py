@@ -1,0 +1,75 @@
+"""Dijkstra's algorithm (binary heap) for nonnegative weights.
+
+Used three ways in the library: (1) the final SSSP stage of Goldberg's
+framework after reweighting (§5, charged at the parallel-Dijkstra model
+cost, work ``Õ(m)`` / span ``Õ(n)``); (2) the ``exact`` ASSSP engine; and
+(3) a test oracle.  Supports an optional distance ``limit`` for the
+distance-limited problems.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..runtime.metrics import Cost, CostAccumulator
+from ..runtime.model import CostModel, DEFAULT_MODEL
+
+
+@dataclass
+class DijkstraResult:
+    dist: np.ndarray     # float64; +inf where unreachable or beyond limit
+    parent: np.ndarray   # predecessor vertex, -1 at source/unreached
+    cost: Cost
+
+
+def dijkstra(g: DiGraph, source: int, weights: np.ndarray | None = None,
+             limit: float | None = None,
+             model: CostModel = DEFAULT_MODEL) -> DijkstraResult:
+    """Exact SSSP with nonnegative integer weights.
+
+    Raises ``ValueError`` on a negative weight.  Vertices farther than
+    ``limit`` (if given) are reported as ``+inf``.
+    """
+    if not (0 <= source < g.n):
+        raise ValueError("source out of range")
+    w = g.w if weights is None else np.asarray(weights, dtype=np.int64)
+    if g.m and w.min() < 0:
+        raise ValueError("dijkstra requires nonnegative weights")
+    acc = CostAccumulator()
+    acc.charge_cost(model.dijkstra(g.n, g.m))
+    dist = np.full(g.n, np.inf)
+    parent = np.full(g.n, -1, dtype=np.int64)
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    indptr, indices = g.indptr, g.indices
+    settled = np.zeros(g.n, dtype=bool)
+    while heap:
+        d, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        if limit is not None and d > limit:
+            # everything remaining is farther than the limit
+            dist[u] = np.inf
+            while heap:
+                _, x = heapq.heappop(heap)
+                if not settled[x]:
+                    dist[x] = np.inf
+            break
+        settled[u] = True
+        lo, hi = int(indptr[u]), int(indptr[u + 1])
+        for slot in range(lo, hi):
+            v = int(indices[slot])
+            nd = d + float(w[slot])
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    if limit is not None:
+        beyond = dist > limit
+        dist[beyond] = np.inf
+        parent[beyond] = -1
+    return DijkstraResult(dist, parent, acc.snapshot())

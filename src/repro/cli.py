@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``solve``     SSSP with negative weights on a DIMACS graph
+              (prints distances or a negative-cycle certificate).
+``generate``  synthesise a benchmark workload as DIMACS text.
+``bench``     run one named experiment from the analysis harness.
+
+Examples::
+
+    python -m repro generate hidden-potential --n 200 --m 800 > g.gr
+    python -m repro solve g.gr --source 1
+    python -m repro bench e9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import (
+    print_table,
+    run_dag01_work_scaling,
+    run_goldberg_vs_bellman_ford,
+    run_label_changes,
+    run_limited_work_span,
+    run_peeling_vs_naive,
+    run_reweighting_iterations,
+    run_scaling_in_n,
+    run_span_parallelism,
+    run_sqrt_k_progress,
+)
+from .core import solve_sssp
+from .graph import generators
+from .graph.io import dumps_dimacs, read_dimacs
+
+_GENERATORS = {
+    "hidden-potential": lambda a: generators.hidden_potential_graph(
+        a.n, a.m, potential_spread=a.spread, seed=a.seed),
+    "bf-hard": lambda a: generators.bf_hard_graph(
+        a.n, a.m, potential_spread=a.spread, seed=a.seed),
+    "random": lambda a: generators.random_digraph(
+        a.n, a.m, min_w=-a.spread, max_w=a.spread, seed=a.seed),
+    "dag01": lambda a: generators.random_dag(
+        a.n, a.m, weights=(0, -1), seed=a.seed),
+    "zero-heavy": lambda a: generators.zero_heavy_digraph(
+        a.n, a.m, seed=a.seed),
+    "planted-cycle": lambda a: generators.planted_negative_cycle_graph(
+        a.n, a.m, max(2, a.spread), seed=a.seed)[0],
+}
+
+_BENCHES = {
+    "e1": run_dag01_work_scaling,
+    "e3": run_label_changes,
+    "e4": run_peeling_vs_naive,
+    "e5": run_limited_work_span,
+    "e7": run_sqrt_k_progress,
+    "e8": run_reweighting_iterations,
+    "e9": run_goldberg_vs_bellman_ford,
+    "e10": run_span_parallelism,
+    "e11": run_scaling_in_n,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel shortest paths with negative edge weights "
+                    "(SPAA 2022 reproduction)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    ps = sub.add_parser("solve", help="solve SSSP on a DIMACS graph")
+    ps.add_argument("graph", help="DIMACS .gr file (or - for stdin)")
+    ps.add_argument("--source", type=int, default=1,
+                    help="1-based source vertex (default 1)")
+    ps.add_argument("--mode", choices=("parallel", "sequential"),
+                    default="parallel")
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--costs", action="store_true",
+                    help="also print model work/span")
+
+    pg = sub.add_parser("generate", help="emit a workload as DIMACS")
+    pg.add_argument("family", choices=sorted(_GENERATORS))
+    pg.add_argument("--n", type=int, default=100)
+    pg.add_argument("--m", type=int, default=400)
+    pg.add_argument("--spread", type=int, default=8,
+                    help="weight magnitude / cycle length parameter")
+    pg.add_argument("--seed", type=int, default=0)
+
+    pb = sub.add_parser("bench", help="run one analysis experiment")
+    pb.add_argument("experiment", choices=sorted(_BENCHES))
+
+    pr = sub.add_parser("report",
+                        help="rerun every experiment, write a markdown report")
+    pr.add_argument("--output", default="REPORT.md")
+    pr.add_argument("--fast", action="store_true",
+                    help="shrunken sweeps (< 1 minute)")
+    return p
+
+
+def cmd_solve(args) -> int:
+    g = read_dimacs(sys.stdin if args.graph == "-" else args.graph)
+    source = args.source - 1
+    if not (0 <= source < g.n):
+        print(f"error: source {args.source} out of range 1..{g.n}",
+              file=sys.stderr)
+        return 2
+    res = solve_sssp(g, source, mode=args.mode, seed=args.seed)
+    if res.has_negative_cycle:
+        cyc = " ".join(str(v + 1) for v in res.negative_cycle)
+        print(f"negative cycle: {cyc}")
+        rc = 1
+    else:
+        for v, d in enumerate(res.dist):
+            text = "inf" if np.isinf(d) else str(int(d))
+            print(f"d {v + 1} {text}")
+        rc = 0
+    if args.costs:
+        print(f"c work {res.cost.work:.0f} span_model "
+              f"{res.cost.span_model:.0f} parallelism "
+              f"{res.cost.parallelism:.1f}", file=sys.stderr)
+    return rc
+
+
+def cmd_generate(args) -> int:
+    g = _GENERATORS[args.family](args)
+    sys.stdout.write(dumps_dimacs(
+        g, comments=[f"family={args.family} n={args.n} m={args.m} "
+                     f"spread={args.spread} seed={args.seed}"]))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    rows = _BENCHES[args.experiment]()
+    print_table(rows, f"experiment {args.experiment}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis.report import write_report
+
+    path = write_report(args.output, fast=args.fast)
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "solve":
+        return cmd_solve(args)
+    if args.command == "generate":
+        return cmd_generate(args)
+    if args.command == "report":
+        return cmd_report(args)
+    return cmd_bench(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""The paper's contribution: parallel Goldberg scaling SSSP (§5, §6)."""
+
+from .cycle import CycleExtractionError, fallback_cycle
+from .extensions import (
+    ApspResult,
+    DifferenceConstraintsResult,
+    LongestPathResult,
+    all_pairs_shortest_paths,
+    dag_longest_paths,
+    find_negative_cycle,
+    solve_difference_constraints,
+)
+from .goldberg import ReweightingResult, ReweightingStats, one_reweighting
+from .improvement import ImprovementOutcome, sqrt_k_improvement
+from .price import (
+    count_negative_vertices,
+    is_valid_improvement,
+    lift_price_to_members,
+    negative_vertices,
+)
+from .scaling import ScalingResult, ScalingStats, scaled_reweighting
+from .sssp import SsspResult, solve_sssp
+
+__all__ = [
+    "solve_sssp",
+    "SsspResult",
+    "scaled_reweighting",
+    "ScalingResult",
+    "ScalingStats",
+    "one_reweighting",
+    "ReweightingResult",
+    "ReweightingStats",
+    "sqrt_k_improvement",
+    "ImprovementOutcome",
+    "negative_vertices",
+    "count_negative_vertices",
+    "is_valid_improvement",
+    "lift_price_to_members",
+    "CycleExtractionError",
+    "fallback_cycle",
+    "all_pairs_shortest_paths",
+    "ApspResult",
+    "dag_longest_paths",
+    "LongestPathResult",
+    "solve_difference_constraints",
+    "find_negative_cycle",
+    "DifferenceConstraintsResult",
+]

@@ -1,0 +1,97 @@
+"""Algorithm 4 — the 1-reweighting loop (§5).
+
+Given integer weights ≥ −1, repeatedly apply √k-improvements until no
+negative vertices remain; each iteration eliminates ≥ ⌈√k⌉ of the ``k``
+remaining negative vertices, so the loop ends within ``O(√K)`` iterations
+(``K`` the initial count).  Returns a feasible price function or a
+negative-cycle certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..runtime.metrics import Cost, CostAccumulator
+from ..runtime.model import CostModel, DEFAULT_MODEL
+from ..runtime.rng import derive_seed
+from .improvement import sqrt_k_improvement
+from .price import count_negative_vertices
+
+
+@dataclass
+class ReweightingStats:
+    """Per-iteration telemetry of one 1-reweighting run (experiment E8)."""
+
+    k_trajectory: list[int] = field(default_factory=list)
+    methods: list[str] = field(default_factory=list)
+    improved: list[int] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.methods)
+
+
+@dataclass
+class ReweightingResult:
+    """Feasible price function or negative cycle, plus telemetry."""
+
+    price: np.ndarray | None
+    negative_cycle: list[int] | None
+    stats: ReweightingStats
+    cost: Cost
+
+    @property
+    def feasible(self) -> bool:
+        return self.price is not None
+
+
+def one_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
+                    mode: str = "parallel", assp_engine=None,
+                    eps: float = 0.2, seed=0,
+                    acc: CostAccumulator | None = None,
+                    model: CostModel = DEFAULT_MODEL,
+                    max_iterations: int | None = None) -> ReweightingResult:
+    """Solve the 1-reweighting problem (all weights ≥ −1).
+
+    ``max_iterations`` is a safety valve (default ``4·(√n + 2)``, far above
+    the ``O(√K)`` bound); exceeding it raises ``RuntimeError``.
+    """
+    w0 = (g.w if weights is None else np.asarray(weights, dtype=np.int64))
+    if g.m and w0.min() < -1:
+        raise ValueError("1-reweighting requires weights >= -1")
+    if max_iterations is None:
+        max_iterations = 4 * (int(np.sqrt(g.n)) + 2)
+    local = CostAccumulator()
+    price = np.zeros(g.n, dtype=np.int64)
+    stats = ReweightingStats()
+    for it in range(max_iterations):
+        w_red = w0 + price[g.src] - price[g.dst] if g.m else w0
+        local.charge_cost(model.map(g.m))
+        k_now = count_negative_vertices(g, w_red)
+        if k_now == 0:
+            break
+        outcome = sqrt_k_improvement(g, w_red, mode=mode,
+                                     assp_engine=assp_engine, eps=eps,
+                                     seed=derive_seed(seed, it), acc=local, model=model)
+        stats.k_trajectory.append(k_now)
+        stats.methods.append(outcome.method)
+        stats.improved.append(outcome.improved)
+        if outcome.negative_cycle is not None:
+            if acc is not None:
+                acc.charge_cost(local.snapshot())
+                acc.merge_stages_from(local)
+            return ReweightingResult(None, outcome.negative_cycle, stats,
+                                     local.snapshot())
+        price = price + outcome.price_delta
+        local.charge_cost(model.map(g.n))
+    else:
+        raise RuntimeError(
+            "1-reweighting exceeded its iteration budget — this indicates "
+            "an improvement that made no progress (please report)")
+    if acc is not None:
+        acc.charge_cost(local.snapshot())
+        acc.merge_stages_from(local)
+    return ReweightingResult(price, None, stats, local.snapshot())

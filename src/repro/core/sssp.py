@@ -1,0 +1,98 @@
+"""Top-level SSSP with negative integer weights (Theorem 17).
+
+``solve_sssp`` = bit scaling (O(log N) rounds of 1-reweighting, each
+O(√n) rounds of √k-improvement) to a feasible price function, then Dijkstra
+on the reduced weights, mapping distances back through the prices.  If any
+stage certifies a negative cycle, the cycle (validated vertex list) is
+returned instead of distances.
+
+This is the library's primary public entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.dijkstra import dijkstra
+from ..graph.digraph import DiGraph
+from ..graph.validate import is_feasible_price, validate_negative_cycle
+from ..runtime.metrics import Cost, CostAccumulator
+from ..runtime.model import CostModel, DEFAULT_MODEL
+from .scaling import ScalingStats, scaled_reweighting
+
+
+@dataclass
+class SsspResult:
+    """Distances from the source, or a negative-cycle certificate.
+
+    * No negative cycle: ``dist[v]`` is the exact distance (``+inf`` when
+      unreachable), ``parent`` a shortest-path tree, ``price`` the feasible
+      potential that certifies the distances.
+    * Negative cycle: ``negative_cycle`` is a vertex list whose closed walk
+      has negative weight; ``dist``/``parent``/``price`` are None.
+    """
+
+    source: int
+    dist: np.ndarray | None
+    parent: np.ndarray | None
+    price: np.ndarray | None
+    negative_cycle: list[int] | None
+    stats: ScalingStats
+    cost: Cost
+
+    @property
+    def has_negative_cycle(self) -> bool:
+        return self.negative_cycle is not None
+
+
+def solve_sssp(g: DiGraph, source: int, *,
+               mode: str = "parallel", assp_engine=None, eps: float = 0.2,
+               seed=0, acc: CostAccumulator | None = None,
+               model: CostModel = DEFAULT_MODEL,
+               check_certificates: bool = True) -> SsspResult:
+    """Single-source shortest paths with integer (possibly negative) weights.
+
+    Parameters
+    ----------
+    mode : "parallel" | "sequential"
+        Parallel Goldberg (the paper) vs sequential Goldberg (baseline).
+    assp_engine, eps :
+        The §4 ASSSP black box used inside chain elimination.
+    check_certificates : bool
+        Re-validate the feasible price / negative cycle before returning
+        (cheap; on by default — the library never hands out an unchecked
+        certificate).
+    """
+    if not (0 <= source < g.n):
+        raise ValueError("source out of range")
+    local = CostAccumulator()
+    scal = scaled_reweighting(g, mode=mode, assp_engine=assp_engine,
+                              eps=eps, seed=seed, acc=local, model=model)
+    if scal.negative_cycle is not None:
+        if check_certificates and not validate_negative_cycle(
+                g, scal.negative_cycle):
+            raise RuntimeError("internal error: invalid cycle certificate")
+        if acc is not None:
+            acc.charge_cost(local.snapshot())
+        return SsspResult(source, None, None, None, scal.negative_cycle,
+                          scal.stats, local.snapshot())
+
+    price = scal.price
+    if check_certificates and not is_feasible_price(g, price):
+        raise RuntimeError("internal error: infeasible price function")
+    w_red = g.w + price[g.src] - price[g.dst] if g.m else g.w
+    local.charge_cost(model.map(g.m))
+    with local.stage("final-dijkstra"):
+        dj = dijkstra(g, source, weights=w_red, model=model)
+        local.charge_cost(dj.cost)
+    dist = dj.dist.copy()
+    finite = np.isfinite(dist)
+    # undo the reweighting: dist_w(s,v) = dist_red(s,v) + p(v) − p(s)
+    dist[finite] += price[np.flatnonzero(finite)] - price[source]
+    if acc is not None:
+        acc.charge_cost(local.snapshot())
+        acc.merge_stages_from(local)
+    return SsspResult(source, dist, dj.parent, price, None, scal.stats,
+                      local.snapshot())

@@ -1,0 +1,15 @@
+"""§3: distance-limited DAG SSSP with {0, −1} weights (peeling algorithm)."""
+
+from .chain import chain_depths, recover_chain
+from .naive import NaiveDag01Result, dag01_limited_sssp_naive
+from .peeling import NO_EDGE, Dag01Result, dag01_limited_sssp
+
+__all__ = [
+    "Dag01Result",
+    "dag01_limited_sssp",
+    "NaiveDag01Result",
+    "dag01_limited_sssp_naive",
+    "recover_chain",
+    "chain_depths",
+    "NO_EDGE",
+]

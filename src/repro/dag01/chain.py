@@ -1,0 +1,52 @@
+"""Chain recovery from negative-ancestor parent edges (§6 Step 2).
+
+A vertex at distance ``−L`` certifies a *chain*: a sequence of ``L``
+negative edges ``⟨(u_1,v_1), …, (u_L,v_L)⟩`` with a ``v_i → u_{i+1}`` path
+in the ``≤0`` graph.  The peeling algorithm's ``parent_edge`` output walks
+it back in ``O(L)`` sequential steps: the last edge is the deep vertex's
+negative ancestor ``(u_L, v_L)`` with ``dist(u_L) = −(L−1)``, and each
+preceding edge is the previous head's negative ancestor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .peeling import Dag01Result, NO_EDGE
+
+
+def recover_chain(result: Dag01Result, depth: int,
+                  start: int | None = None) -> list[tuple[int, int]]:
+    """The length-``depth`` chain ending at a vertex of distance ``−depth``.
+
+    Returns ``[(u_1, v_1), …, (u_depth, v_depth)]``.  Raises ``ValueError``
+    if no vertex sits at distance ``−depth`` or a parent link is missing
+    (which would contradict Theorem 4).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if start is None:
+        candidates = np.flatnonzero(result.dist == -depth)
+        if len(candidates) == 0:
+            raise ValueError(f"no vertex at distance {-depth}")
+        start = int(candidates[0])
+    elif result.dist[start] != -depth:
+        raise ValueError("start vertex is not at the requested depth")
+
+    chain: list[tuple[int, int]] = []
+    cur = start
+    for _ in range(depth):
+        x, y = (int(result.parent_edge[cur, 0]),
+                int(result.parent_edge[cur, 1]))
+        if x == NO_EDGE:
+            raise ValueError(f"vertex {cur} lacks a negative ancestor edge")
+        chain.append((x, y))
+        cur = x
+    chain.reverse()
+    return chain
+
+
+def chain_depths(result: Dag01Result, chain: list[tuple[int, int]]
+                 ) -> list[float]:
+    """Distances of the chain heads — ``dist(u_i) = −(i−1)`` by Theorem 4."""
+    return [float(result.dist[u]) for u, _ in chain]

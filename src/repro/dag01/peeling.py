@@ -1,0 +1,318 @@
+"""§3 — Distance-limited DAG SSSP with ``{0, −1}`` weights (Algorithms 1–2).
+
+The peeling algorithm: round ``i`` identifies and finalises exactly the
+vertices at distance ``−i`` from the source.  The frontier is found without
+re-running reachability over the whole graph each round: every vertex keeps a
+*label* — a maximum-priority live negative-ancestor edge — and only vertices
+whose label head was just peeled (tracked through ``SentLabel`` sets) rejoin
+the Propagate subroutine, which restores labels priority-by-priority using
+the multisource-reachability black box on the still-unlabeled induced
+subgraph.
+
+Randomised geometric priorities (§3.1) make each vertex's label change only
+``O(log² n)`` times whp (Corollary 6), which bounds total work at ``Õ(m)``
+and total span at ``√L·n^(1/2+o(1))`` (Theorem 8).  The instrumentation
+fields on :class:`Dag01Result` expose exactly the quantities those claims
+bound, for the E1–E4 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import in_edge_slots
+from ..graph.digraph import DiGraph
+from ..graph.validate import is_dag
+from ..reach.multisource import multisource_reachability
+from ..runtime.metrics import Cost, CostAccumulator
+from ..runtime.model import CostModel, DEFAULT_MODEL
+from ..runtime.pset import SetVector
+from ..runtime.rng import geometric_priorities, make_rng
+
+NO_EDGE = -1
+
+
+@dataclass
+class Dag01Result:
+    """Output + instrumentation of the peeling algorithm.
+
+    ``dist[v]`` is ``dist(s,v)`` when it is ``≥ −limit``, ``−inf`` when
+    strictly below the limit, and ``+inf`` when ``v`` is unreachable from the
+    source.  ``parent_edge[v] = (x, y)`` is a negative ancestor edge with
+    ``dist(x) = dist(v) + 1`` and a ``y → v`` path, or ``(−1, −1)``.
+    """
+
+    dist: np.ndarray
+    parent_edge: np.ndarray          # shape (n, 2)
+    priorities: np.ndarray
+    rounds: int
+    label_changes: np.ndarray        # per-vertex count (Corollary 6)
+    propagate_calls: int
+    propagate_node_total: int        # Σ |V'| across Propagate calls
+    reach_calls: int
+    reach_node_total: int            # Σ induced-subgraph sizes (Lemma 7)
+    cost: Cost
+
+    def level_sets(self, limit: int) -> list[np.ndarray]:
+        """``V_0 … V_limit``: vertices at distance exactly ``−i`` (§6 Step 2)."""
+        return [np.flatnonzero(self.dist == -i) for i in range(limit + 1)]
+
+
+@dataclass
+class _State:
+    """Mutable per-run peeling state shared by the main loop and Propagate."""
+
+    g: DiGraph
+    pri: np.ndarray
+    live: np.ndarray                 # bool
+    label_eid: np.ndarray            # labelling edge id, NO_EDGE if ⊥
+    parent_eid: np.ndarray
+    sent: SetVector
+    acc: CostAccumulator
+    model: CostModel
+    label_changes: np.ndarray
+    propagate_calls: int = 0
+    propagate_node_total: int = 0
+    reach_calls: int = 0
+    reach_node_total: int = 0
+
+
+def dag01_limited_sssp(g: DiGraph, source: int, limit: int, *,
+                       seed=0, acc: CostAccumulator | None = None,
+                       model: CostModel = DEFAULT_MODEL,
+                       validate: bool = True,
+                       priorities: np.ndarray | None = None) -> Dag01Result:
+    """Solve distance-limited SSSP on a DAG with weights in ``{0, −1}``.
+
+    Parameters
+    ----------
+    limit : int
+        The distance limit ``L``: exact distances are produced for vertices
+        with ``dist(s,v) ≥ −L``; farther vertices report ``−inf``.
+    priorities : optional
+        Override the random priorities (ablation A1 uses this).
+    validate : bool
+        Check DAG-ness and the weight alphabet up front (costs O(n+m)).
+    """
+    if not (0 <= source < g.n):
+        raise ValueError("source out of range")
+    if limit < 0:
+        raise ValueError("limit must be nonnegative")
+    if validate:
+        if g.m and not np.isin(g.w, (0, -1)).all():
+            raise ValueError("weights must be in {0, -1}")
+        if not is_dag(g):
+            raise ValueError("graph must be acyclic")
+
+    local = CostAccumulator()
+    # §3 assumes every vertex is reachable from s; restrict to the reachable
+    # induced subgraph (one extra black-box call, as the paper suggests).
+    reach = multisource_reachability(g, np.array([source]), local, model)
+    reachable = np.flatnonzero(reach.pi >= 0)
+    dist = np.full(g.n, np.inf)
+    parent_edge = np.full((g.n, 2), NO_EDGE, dtype=np.int64)
+    priorities_full = np.zeros(g.n, dtype=np.int64)
+    label_changes_full = np.zeros(g.n, dtype=np.int64)
+
+    if len(reachable) == g.n:
+        sub, ids = g, np.arange(g.n, dtype=np.int64)
+        sub_source = source
+    else:
+        sub, ids = g.induced_subgraph(reachable)
+        local.charge_cost(model.pack(g.m))
+        sub_source = int(np.searchsorted(ids, source))
+
+    rng = make_rng(seed)
+    if priorities is None:
+        pri = geometric_priorities(sub.n, rng)
+    else:
+        pri = np.asarray(priorities, dtype=np.int64)[ids]
+        if len(pri) != sub.n:
+            raise ValueError("priorities must cover every vertex")
+    local.charge_cost(model.map(sub.n))
+
+    st = _State(
+        g=sub,
+        pri=pri,
+        live=np.ones(sub.n, dtype=bool),
+        label_eid=np.full(sub.n, NO_EDGE, dtype=np.int64),
+        parent_eid=np.full(sub.n, NO_EDGE, dtype=np.int64),
+        sent=SetVector(sub.n),
+        acc=local,
+        model=model,
+        label_changes=np.zeros(sub.n, dtype=np.int64),
+    )
+
+    sub_dist = _peel(st, sub_source, limit)
+
+    dist[ids] = sub_dist
+    has_parent = st.parent_eid != NO_EDGE
+    pe = st.parent_eid[has_parent]
+    parent_edge[ids[has_parent], 0] = ids[sub.src[pe]]
+    parent_edge[ids[has_parent], 1] = ids[sub.dst[pe]]
+    priorities_full[ids] = pri
+    label_changes_full[ids] = st.label_changes
+    if acc is not None:
+        acc.charge_cost(local.snapshot())
+    rounds = int(min(limit, -sub_dist[np.isfinite(sub_dist)].min()
+                     if np.isfinite(sub_dist).any() else 0))
+    return Dag01Result(
+        dist=dist,
+        parent_edge=parent_edge,
+        priorities=priorities_full,
+        rounds=rounds,
+        label_changes=label_changes_full,
+        propagate_calls=st.propagate_calls,
+        propagate_node_total=st.propagate_node_total,
+        reach_calls=st.reach_calls,
+        reach_node_total=st.reach_node_total,
+        cost=local.snapshot(),
+    )
+
+
+def _peel(st: _State, source: int, limit: int) -> np.ndarray:
+    """Algorithm 1 main loop on a graph fully reachable from ``source``."""
+    g, acc, model = st.g, st.acc, st.model
+    dist = np.full(g.n, -np.inf)
+
+    _propagate(st, np.arange(g.n, dtype=np.int64))
+    frontier = np.flatnonzero(st.label_eid == NO_EDGE)
+    acc.charge_cost(model.pack(g.n))
+
+    for i in range(limit + 1):
+        if len(frontier) == 0:
+            break
+        # R = ∪_{u∈F} SentLabel(u), filtered to labels actually broken by F
+        candidates = st.sent.gather(frontier, acc, model)
+        st.sent.clear_many(frontier, acc, model)
+        acc.charge_cost(model.map(len(candidates)))
+        in_f = np.zeros(g.n, dtype=bool)
+        in_f[frontier] = True
+        if len(candidates):
+            cand_heads = g.src[st.label_eid[candidates].clip(min=0)]
+            broken = (st.label_eid[candidates] != NO_EDGE) & \
+                in_f[cand_heads] & st.live[candidates]
+            invalid = np.unique(candidates[broken])
+        else:
+            invalid = candidates
+        # invalidate labels of R
+        st.label_eid[invalid] = NO_EDGE
+        # finalise the frontier at distance −i
+        dist[frontier] = -i
+        st.live[frontier] = False
+        acc.charge_cost(model.map(len(frontier)))
+        if i == limit:
+            break
+        _propagate(st, invalid)
+        frontier = invalid[st.label_eid[invalid] == NO_EDGE]
+        acc.charge_cost(model.pack(len(invalid)))
+    return dist
+
+
+def _propagate(st: _State, vprime: np.ndarray) -> None:
+    """Algorithm 2: restore maximum-priority negative-ancestor labels.
+
+    ``vprime`` is the set of live vertices with invalid (⊥) labels.  After
+    the call every live vertex is correctly labeled (Lemma 1).
+    """
+    g, acc, model = st.g, st.acc, st.model
+    vprime = vprime[st.live[vprime]] if len(vprime) else vprime
+    st.propagate_calls += 1
+    st.propagate_node_total += len(vprime)
+    if len(vprime) == 0:
+        return
+    newly_labeled: list[np.ndarray] = []
+    cap = int(st.pri.max(initial=1))
+    for p in range(cap, 0, -1):
+        if len(vprime) == 0:
+            break
+        labeled_this_iter = _nearby_labels(st, vprime, p)
+        sources = vprime[st.label_eid[vprime] != NO_EDGE]
+        acc.charge_cost(model.pack(len(vprime)))
+        if len(sources):
+            sub, nodes = g.induced_subgraph(vprime)
+            acc.charge_cost(model.pack(_incident_edges(g, vprime, acc, model)))
+            st.reach_calls += 1
+            st.reach_node_total += sub.n
+            local_sources = np.searchsorted(nodes, sources)
+            res = multisource_reachability(sub, local_sources, acc, model)
+            reached = np.flatnonzero(res.pi >= 0)
+            global_v = nodes[reached]
+            global_pi = nodes[res.pi[reached]]
+            # inherit the label of the reaching source (π of a source is
+            # itself, so already-labeled vertices keep their label)
+            new_lab = st.label_eid[global_pi]
+            changed = st.label_eid[global_v] != new_lab
+            st.label_changes[global_v[changed]] += 1
+            st.label_eid[global_v] = new_lab
+            st.parent_eid[global_v] = new_lab
+            acc.charge_cost(model.map(len(global_v)))
+        # remove newly labeled vertices from V'
+        still = st.label_eid[vprime] == NO_EDGE
+        newly_labeled.append(vprime[~still])
+        vprime = vprime[still]
+        acc.charge_cost(model.pack(len(still)))
+    # update SentLabel sets with all new label assignments, grouped by the
+    # label head u (semisort idiom, §3.5)
+    if newly_labeled:
+        labeled = np.concatenate(newly_labeled)
+        if len(labeled):
+            heads = g.src[st.label_eid[labeled]]
+            acc.charge_cost(model.sort(len(labeled)))
+            order = np.argsort(heads, kind="stable")
+            heads_s, labeled_s = heads[order], labeled[order]
+            bounds = np.flatnonzero(
+                np.r_[True, heads_s[1:] != heads_s[:-1]])
+            for idx, start in enumerate(bounds):
+                stop = (bounds[idx + 1] if idx + 1 < len(bounds)
+                        else len(heads_s))
+                st.sent.add_batch(int(heads_s[start]),
+                                  labeled_s[start:stop], acc, model)
+
+
+def _nearby_labels(st: _State, vprime: np.ndarray, p: int) -> None:
+    """GetNearbyLabel for every ``v ∈ V'`` at priority ``p`` (vectorised).
+
+    Case A: an incoming live edge ``(u, v)`` with weight −1 and
+    ``priority(u) = p`` labels ``v`` with that edge.
+    Case B: an incoming live neighbour ``u ∉ V'`` whose own label has
+    priority ``p`` passes that label on.
+    """
+    g, acc, model = st.g, st.acc, st.model
+    slots = in_edge_slots(g, vprime)
+    acc.charge_cost(model.map(len(slots)))
+    if len(slots) == 0:
+        return
+    eids = g.reids[slots]
+    u = g.src[eids]
+    v = g.dst[eids]
+    in_vp = np.zeros(g.n, dtype=bool)
+    in_vp[vprime] = True
+    live_u = st.live[u]
+    case_a = live_u & (g.w[eids] == -1) & (st.pri[u] == p)
+    u_label = st.label_eid[u]
+    head_pri = np.where(u_label != NO_EDGE, st.pri[g.src[u_label.clip(min=0)]], 0)
+    case_b = live_u & ~in_vp[u] & (u_label != NO_EDGE) & (head_pri == p)
+    # candidate label per qualifying edge slot
+    cand = np.where(case_a, eids, np.where(case_b, u_label, NO_EDGE))
+    hit = cand != NO_EDGE
+    if not hit.any():
+        return
+    tv, tl = v[hit], cand[hit]
+    old = st.label_eid[tv]
+    st.label_eid[tv] = tl          # any one candidate per v (last wins)
+    applied = st.label_eid[tv] != old
+    # count distinct vertices whose label changed (dedupe repeated slots)
+    changed_v = np.unique(tv[applied & (old != st.label_eid[tv])])
+    st.label_changes[changed_v] += 1
+    st.parent_eid[tv] = st.label_eid[tv]
+
+
+def _incident_edges(g: DiGraph, nodes: np.ndarray,
+                    acc: CostAccumulator, model: CostModel) -> int:
+    """Number of edges incident to ``nodes`` (for subgraph-build charging)."""
+    deg = (g.indptr[nodes + 1] - g.indptr[nodes]) + \
+        (g.rindptr[nodes + 1] - g.rindptr[nodes])
+    return int(deg.sum())

@@ -1,0 +1,50 @@
+"""Vectorised CSR gather helpers shared across traversal code.
+
+These implement the frontier-expansion idiom used by every BFS-like loop in
+the library: given a frontier of vertices, gather the flat slots of all their
+out- (or in-) edges in one shot, with no Python-level per-vertex loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .digraph import DiGraph
+
+
+def ranges_concat(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Concatenate the index ranges ``[lo_i, hi_i)``.
+
+    Vectorised as ``repeat(lo, counts) + local_offsets`` where the local
+    offsets are a global ``arange`` minus each range's start position.
+    """
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    seg_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.repeat(lo, counts) + (np.arange(total, dtype=np.int64) - seg_starts)
+
+
+def out_edge_slots(g: DiGraph, frontier: np.ndarray) -> np.ndarray:
+    """Flat forward-CSR slots (= edge ids) of all out-edges of ``frontier``."""
+    frontier = np.asarray(frontier, dtype=np.int64)
+    return ranges_concat(g.indptr[frontier], g.indptr[frontier + 1])
+
+
+def in_edge_slots(g: DiGraph, frontier: np.ndarray) -> np.ndarray:
+    """Flat reverse-CSR slots of all in-edges of ``frontier``.
+
+    Map through ``g.reids`` to get forward edge ids.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    return ranges_concat(g.rindptr[frontier], g.rindptr[frontier + 1])
+
+
+def frontier_sources(g: DiGraph, frontier: np.ndarray,
+                     slots: np.ndarray) -> np.ndarray:
+    """For each slot from :func:`out_edge_slots`, the frontier vertex that
+    produced it (i.e. ``g.src[slots]`` — provided for symmetry/readability)."""
+    return g.src[slots]

@@ -1,0 +1,75 @@
+"""Optional interop with the scientific-Python ecosystem.
+
+The library's runtime dependency is numpy only; these converters import
+networkx / scipy lazily so downstream users who have them (most do) can
+move graphs in and out without hand-rolling edge loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .digraph import DiGraph
+
+
+def to_networkx(g: DiGraph):
+    """A ``networkx.MultiDiGraph`` with ``weight`` attributes."""
+    import networkx as nx
+
+    G = nx.MultiDiGraph()
+    G.add_nodes_from(range(g.n))
+    G.add_weighted_edges_from(
+        zip(g.src.tolist(), g.dst.tolist(), g.w.tolist()))
+    return G
+
+
+def from_networkx(G, weight: str = "weight", default: int = 1) -> DiGraph:
+    """Build a :class:`DiGraph` from any networkx directed graph.
+
+    Nodes are relabelled ``0..n-1`` in ``G.nodes`` order; non-integer
+    weights are rejected (the paper's algorithms take integer weights).
+    """
+    nodes = list(G.nodes)
+    index = {u: i for i, u in enumerate(nodes)}
+    src, dst, w = [], [], []
+    for u, v, data in G.edges(data=True):
+        weight_val = data.get(weight, default)
+        if weight_val != int(weight_val):
+            raise ValueError(
+                f"edge ({u!r}, {v!r}) has non-integer weight {weight_val!r}")
+        src.append(index[u])
+        dst.append(index[v])
+        w.append(int(weight_val))
+    return DiGraph(len(nodes), np.asarray(src, dtype=np.int64),
+                   np.asarray(dst, dtype=np.int64),
+                   np.asarray(w, dtype=np.int64))
+
+
+def to_scipy_sparse(g: DiGraph):
+    """A ``scipy.sparse.csr_matrix`` of weights (parallel edges collapse to
+    their minimum weight, the shortest-path-relevant choice)."""
+    import scipy.sparse as sp
+
+    if g.m == 0:
+        return sp.csr_matrix((g.n, g.n), dtype=np.int64)
+    order = np.lexsort((g.w, g.dst, g.src))
+    src, dst, w = g.src[order], g.dst[order], g.w[order]
+    first = np.r_[True, (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])]
+    return sp.csr_matrix((w[first], (src[first], dst[first])),
+                         shape=(g.n, g.n), dtype=np.int64)
+
+
+def from_scipy_sparse(matrix) -> DiGraph:
+    """Build a :class:`DiGraph` from a scipy sparse adjacency matrix.
+
+    Explicitly stored zeros become 0-weight edges (structural zeros are
+    absent edges), matching sparse-matrix conventions.
+    """
+    coo = matrix.tocoo()
+    if coo.shape[0] != coo.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    w = np.asarray(coo.data)
+    if not np.equal(np.mod(w, 1), 0).all():
+        raise ValueError("weights must be integers")
+    return DiGraph(coo.shape[0], coo.row.astype(np.int64),
+                   coo.col.astype(np.int64), w.astype(np.int64))

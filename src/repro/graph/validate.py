@@ -1,0 +1,131 @@
+"""Certificate checking: price feasibility, cycles, DAG-ness.
+
+Every nontrivial output of the library is checkable: a feasible price
+function certifies "no negative cycle" (Johnson), a vertex cycle with
+negative total weight certifies "negative cycle".  The validators here are
+deliberately independent of the algorithms that produce the certificates
+and are used both by the public API and by the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import ranges_concat as _ranges_concat
+from .digraph import DiGraph
+
+
+def is_feasible_price(g: DiGraph, price: np.ndarray,
+                      weights: np.ndarray | None = None) -> bool:
+    """True iff all reduced weights ``w + p(u) − p(v)`` are nonnegative."""
+    w = g.w if weights is None else np.asarray(weights, dtype=np.int64)
+    price = np.asarray(price, dtype=np.int64)
+    if len(price) != g.n:
+        raise ValueError("price function must have one entry per vertex")
+    if g.m == 0:
+        return True
+    reduced = w + price[g.src] - price[g.dst]
+    return bool((reduced >= 0).all())
+
+
+def min_reduced_weight(g: DiGraph, price: np.ndarray,
+                       weights: np.ndarray | None = None) -> int:
+    """Minimum reduced weight (≥ -1 required by the 1-reweighting problem)."""
+    w = g.w if weights is None else np.asarray(weights, dtype=np.int64)
+    if g.m == 0:
+        return 0
+    return int((w + np.asarray(price)[g.src] - np.asarray(price)[g.dst]).min())
+
+
+def cycle_weight(g: DiGraph, cycle: list[int] | np.ndarray,
+                 weights: np.ndarray | None = None) -> int:
+    """Total weight of the closed walk ``cycle`` (vertex list, first != last
+    repeated implicitly).  Uses the minimum-weight parallel edge on each hop.
+
+    Raises ``ValueError`` if a hop has no edge.
+    """
+    cyc = [int(v) for v in cycle]
+    if len(cyc) == 0:
+        raise ValueError("empty cycle")
+    w = g.w if weights is None else np.asarray(weights, dtype=np.int64)
+    total = 0
+    for i, u in enumerate(cyc):
+        v = cyc[(i + 1) % len(cyc)]
+        eids = g.edge_ids_between(u, v)
+        if len(eids) == 0:
+            raise ValueError(f"cycle hop {u}->{v} is not an edge")
+        total += int(w[eids].min())
+    return total
+
+
+def validate_negative_cycle(g: DiGraph, cycle: list[int] | np.ndarray,
+                            weights: np.ndarray | None = None) -> bool:
+    """True iff ``cycle`` is a closed walk in ``g`` with negative weight."""
+    try:
+        return cycle_weight(g, cycle, weights) < 0
+    except ValueError:
+        return False
+
+
+def is_dag(g: DiGraph) -> bool:
+    """Kahn's algorithm, vectorised per round."""
+    return topological_order(g) is not None
+
+
+def topological_order(g: DiGraph) -> np.ndarray | None:
+    """A topological order of ``g``'s vertices, or None if cyclic.
+
+    Kahn peeling with numpy frontier rounds: each round removes all
+    current in-degree-0 vertices at once.
+    """
+    indeg = g.in_degree().copy()
+    order = np.empty(g.n, dtype=np.int64)
+    frontier = np.flatnonzero(indeg == 0)
+    done = 0
+    while len(frontier):
+        order[done:done + len(frontier)] = frontier
+        done += len(frontier)
+        # decrement in-degree of all successors of the frontier at once
+        lo = g.indptr[frontier]
+        hi = g.indptr[frontier + 1]
+        counts = hi - lo
+        if counts.sum() == 0:
+            frontier = np.empty(0, dtype=np.int64)
+            continue
+        idx = _ranges_concat(lo, hi)
+        targets = g.indices[idx]
+        dec = np.bincount(targets, minlength=g.n)
+        indeg -= dec
+        newly = np.flatnonzero((indeg == 0) & (dec > 0))
+        frontier = newly
+    return order if done == g.n else None
+
+
+def check_distances(g: DiGraph, source: int, dist: np.ndarray,
+                    weights: np.ndarray | None = None) -> bool:
+    """Verify exact SSSP output by the Bellman criterion (paper Lemma 10).
+
+    ``dist`` may contain ``+inf`` (unreachable).  Requires no negative
+    cycle reachable from ``source``; callers handle ``-inf`` separately.
+    """
+    w = g.w.astype(np.float64) if weights is None else np.asarray(weights, dtype=np.float64)
+    d = np.asarray(dist, dtype=np.float64)
+    if d[source] != 0:
+        return False
+    finite = np.isfinite(d)
+    # no edge may relax: d[v] <= d[u] + w
+    du = d[g.src]
+    dv = d[g.dst]
+    with np.errstate(invalid="ignore"):
+        slack_ok = dv <= du + w
+    ok_edges = slack_ok | ~np.isfinite(du)
+    if not ok_edges.all():
+        return False
+    # every finite d[v] (v != source) must be attained by some incoming edge
+    attain = np.zeros(g.n, dtype=bool)
+    with np.errstate(invalid="ignore"):
+        tight = np.isfinite(du) & (dv == du + w)
+    attain[g.dst[tight]] = True
+    need = finite.copy()
+    need[source] = False
+    return bool((attain | ~need).all())

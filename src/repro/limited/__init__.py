@@ -1,0 +1,24 @@
+"""§4: distance-limited SSSP with nonnegative integer weights."""
+
+from .intervals import IntervalTable, NO_INTERVAL, smallest_power_of_two_above
+from .limited import LimitedSpResult, VerificationError, limited_sssp
+from .weighted_bfs import WeightedBfsResult, weighted_bfs_limited
+from .verify import (
+    shortest_path_tree,
+    verify_limited_distances,
+    zero_cycle_condensation,
+)
+
+__all__ = [
+    "limited_sssp",
+    "LimitedSpResult",
+    "VerificationError",
+    "IntervalTable",
+    "NO_INTERVAL",
+    "smallest_power_of_two_above",
+    "verify_limited_distances",
+    "shortest_path_tree",
+    "zero_cycle_condensation",
+    "weighted_bfs_limited",
+    "WeightedBfsResult",
+]

@@ -1,0 +1,33 @@
+"""Reachability substrate: multisource reachability black box and SCC."""
+
+from .multisource import (
+    NO_SOURCE,
+    ReachResult,
+    bfs_parents,
+    multisource_reachability,
+    path_from_parents,
+    reachable_mask,
+)
+from .multisource import multisource_reachability_min
+from .scc import SccResult, scc, scc_sequential
+from .shortcuts import (
+    ShortcutGraph,
+    build_hub_shortcuts,
+    multisource_reachability_shortcut,
+)
+
+__all__ = [
+    "NO_SOURCE",
+    "ReachResult",
+    "multisource_reachability",
+    "multisource_reachability_min",
+    "ShortcutGraph",
+    "build_hub_shortcuts",
+    "multisource_reachability_shortcut",
+    "reachable_mask",
+    "bfs_parents",
+    "path_from_parents",
+    "SccResult",
+    "scc",
+    "scc_sequential",
+]

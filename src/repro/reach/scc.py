@@ -1,0 +1,143 @@
+"""Strongly connected components via reachability (§6.1 Step 1).
+
+The paper cites Blelloch et al.'s reduction of SCC to single-source
+reachability (with logarithmic overhead).  We implement the batched
+block-partition form of that reduction (see :func:`scc`): doubling batches
+of random centers classify vertices by deterministic min-label forward and
+backward reachability, finalising whole SCCs and splitting the remaining
+blocks, in ``O(log n)`` reachability rounds with high probability.
+
+A sequential Tarjan implementation is provided as an independent oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..runtime.metrics import Cost, CostAccumulator
+from ..runtime.model import CostModel, DEFAULT_MODEL
+from ..runtime.rng import make_rng
+from .multisource import multisource_reachability_min
+
+
+@dataclass
+class SccResult:
+    comp: np.ndarray        # vertex -> component id (0..n_components-1)
+    n_components: int
+    cost: Cost
+
+
+def scc(g: DiGraph, acc: CostAccumulator | None = None,
+        model: CostModel = DEFAULT_MODEL, seed=0) -> SccResult:
+    """Parallel-model SCC by batched reachability partitioning.
+
+    The batch-doubling form of the reachability reduction (Blelloch, Gu,
+    Shun & Sun): each round samples a doubling number of random live
+    *centers* and runs two deterministic minimum-label multisource
+    reachability calls (forward and backward) restricted to intra-block
+    edges.  Every vertex is classified by its (min forward center, min
+    backward center) pair; equal pairs are exactly the SCCs of "self-min"
+    centers and finalise, and splitting blocks by the pair never separates
+    an SCC (members of one SCC see identical center sets).  Once the batch
+    covers all live vertices every block finalises at least its minimum
+    vertex, so the loop ends within ``O(log n)`` doubling rounds plus a
+    polylogarithmic tail, each round costing two black-box calls over the
+    whole live graph — work ``Õ(m)`` per round, one oracle span per round.
+
+    Component ids are arbitrary but contiguous.
+    """
+    rng = make_rng(seed)
+    local = CostAccumulator()
+    comp = np.full(g.n, -1, dtype=np.int64)
+    next_id = 0
+    block = np.zeros(g.n, dtype=np.int64)   # current block of each vertex
+    live = np.ones(g.n, dtype=bool)
+    batch = 1
+    while live.any():
+        live_ids = np.flatnonzero(live)
+        take = min(batch, len(live_ids))
+        centers = rng.choice(live_ids, size=take, replace=False)
+        local.charge_cost(model.map(len(live_ids)))
+        # restrict to intra-block live edges; center labels cannot escape
+        # their blocks
+        keep = live[g.src] & live[g.dst] & (block[g.src] == block[g.dst])
+        local.charge_cost(model.pack(g.m))
+        sub = DiGraph(g.n, g.src[keep], g.dst[keep],
+                      np.zeros(int(keep.sum()), dtype=np.int64))
+        fwd = multisource_reachability_min(sub, centers, local, model).pi
+        bwd = multisource_reachability_min(sub.reversed(), centers, local,
+                                           model).pi
+        local.charge_cost(model.map(g.n))
+        done = live & (fwd >= 0) & (fwd == bwd)
+        # finalise each self-min center's SCC with a fresh contiguous id
+        scc_ids = np.flatnonzero(done)
+        if len(scc_ids):
+            uniq, inv = np.unique(fwd[scc_ids], return_inverse=True)
+            comp[scc_ids] = next_id + inv
+            next_id += len(uniq)
+            live[scc_ids] = False
+        # split survivors by (block, fwd winner, bwd winner)
+        survivors = np.flatnonzero(live)
+        if len(survivors):
+            key = np.stack([block[survivors], fwd[survivors],
+                            bwd[survivors]])
+            _, new_block = np.unique(key, axis=1, return_inverse=True)
+            block[survivors] = new_block
+            local.charge_cost(model.sort(len(survivors)))
+        batch = min(batch * 2, max(int(live.sum()), 1))
+    if acc is not None:
+        acc.charge_cost(local.snapshot())
+    return SccResult(comp, next_id, local.snapshot())
+
+
+def scc_sequential(g: DiGraph) -> SccResult:
+    """Iterative Tarjan SCC — the deterministic O(n+m) oracle."""
+    n = g.n
+    index = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    comp = np.full(n, -1, dtype=np.int64)
+    stack: list[int] = []
+    next_index = 0
+    next_comp = 0
+    indptr, indices = g.indptr, g.indices
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # explicit DFS: (vertex, next out-slot to try)
+        work = [(root, int(indptr[root]))]
+        index[root] = low[root] = next_index
+        next_index += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            v, slot = work[-1]
+            if slot < indptr[v + 1]:
+                work[-1] = (v, slot + 1)
+                u = int(indices[slot])
+                if index[u] == -1:
+                    index[u] = low[u] = next_index
+                    next_index += 1
+                    stack.append(u)
+                    on_stack[u] = True
+                    work.append((u, int(indptr[u])))
+                elif on_stack[u]:
+                    low[v] = min(low[v], index[u])
+            else:
+                work.pop()
+                if work:
+                    pv = work[-1][0]
+                    low[pv] = min(low[pv], low[v])
+                if low[v] == index[v]:
+                    while True:
+                        u = stack.pop()
+                        on_stack[u] = False
+                        comp[u] = next_comp
+                        if u == v:
+                            break
+                    next_comp += 1
+    return SccResult(comp, next_comp, Cost(n + g.m, n + g.m))

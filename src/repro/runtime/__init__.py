@@ -1,0 +1,30 @@
+"""Binary-forking work-span runtime: cost model, primitives, sets, RNG.
+
+This subpackage is the substrate every algorithm in :mod:`repro` runs on.
+See DESIGN.md ("Substitutions") for how it stands in for parallel hardware.
+"""
+
+from .metrics import Cost, CostAccumulator, ZERO
+from .model import CostModel, DEFAULT_MODEL, lg
+from .pset import SetVector, SortedIntSet
+from .rng import derive_seed, geometric_priorities, make_rng, priority_cap
+from .executor import ForkJoinPool, default_pool
+from . import primitives
+
+__all__ = [
+    "Cost",
+    "CostAccumulator",
+    "ZERO",
+    "CostModel",
+    "DEFAULT_MODEL",
+    "lg",
+    "SetVector",
+    "SortedIntSet",
+    "derive_seed",
+    "geometric_priorities",
+    "make_rng",
+    "priority_cap",
+    "ForkJoinPool",
+    "default_pool",
+    "primitives",
+]

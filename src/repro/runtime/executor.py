@@ -1,0 +1,81 @@
+"""Optional real-thread execution of parallel-for bodies.
+
+The library's algorithms are written against the cost-model primitives and
+run sequentially by default (correct and fast under CPython's GIL on a
+single-core host).  This module provides a small fork-join executor so the
+same parallel-for *structure* can be demonstrated on real threads — useful on
+free-threaded builds or when bodies release the GIL (numpy kernels).
+
+The executor is deliberately simple: a persistent thread pool plus a
+``parallel_for`` that block-partitions an index range, mirroring the static
+scheduling idiom of the HPC guides.  Determinism is preserved because bodies
+write to disjoint slices.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+
+class ForkJoinPool:
+    """A tiny fork-join pool for block-partitioned parallel loops."""
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        if n_workers is None:
+            n_workers = min(8, os.cpu_count() or 1)
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(max_workers=n_workers) if n_workers > 1 else None
+        )
+        self._lock = threading.Lock()
+
+    def parallel_for(self, n: int, body: Callable[[int, int], None],
+                     grain: int = 1024) -> None:
+        """Run ``body(lo, hi)`` over a block partition of ``range(n)``.
+
+        Blocks are disjoint, so bodies may write to disjoint output slices
+        without synchronisation.  Falls back to one sequential call when the
+        range is small or the pool has a single worker.
+        """
+        if n <= 0:
+            return
+        if self._pool is None or n <= grain:
+            body(0, n)
+            return
+        blocks = min(self.n_workers, max(1, n // grain))
+        step = (n + blocks - 1) // blocks
+        futures = []
+        for lo in range(0, n, step):
+            hi = min(lo + step, n)
+            futures.append(self._pool.submit(body, lo, hi))
+        for f in futures:
+            f.result()
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ForkJoinPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+_default_pool: ForkJoinPool | None = None
+_default_lock = threading.Lock()
+
+
+def default_pool() -> ForkJoinPool:
+    """Process-wide lazily created pool (size = CPU count, capped at 8)."""
+    global _default_pool
+    with _default_lock:
+        if _default_pool is None:
+            _default_pool = ForkJoinPool()
+        return _default_pool

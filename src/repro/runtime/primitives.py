@@ -1,0 +1,126 @@
+"""Data-parallel primitives: real numpy execution + model cost charging.
+
+Each helper performs the operation with vectorised numpy (the realistic
+single-node execution) and charges the binary-forking cost of the same step
+to the caller's :class:`~repro.runtime.metrics.CostAccumulator`.  Algorithm
+code built from these primitives therefore computes correct answers *and*
+carries a faithful work/span ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from .metrics import CostAccumulator
+from .model import CostModel, DEFAULT_MODEL
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def parallel_map(values: Sequence[T], fn: Callable[[T], U],
+                 acc: CostAccumulator,
+                 model: CostModel = DEFAULT_MODEL,
+                 per_item_work: float = 1.0) -> list[U]:
+    """Apply ``fn`` to every element (a parallel-for in the model)."""
+    acc.charge_cost(model.map(len(values), per_item_work))
+    return [fn(v) for v in values]
+
+
+def prefix_sum(a: np.ndarray, acc: CostAccumulator,
+               model: CostModel = DEFAULT_MODEL) -> np.ndarray:
+    """Exclusive prefix sums (parallel scan)."""
+    acc.charge_cost(model.scan(len(a)))
+    out = np.zeros(len(a) + 1, dtype=a.dtype if a.dtype.kind in "iu" else np.int64)
+    np.cumsum(a, out=out[1:])
+    return out
+
+
+def pack(a: np.ndarray, mask: np.ndarray, acc: CostAccumulator,
+         model: CostModel = DEFAULT_MODEL) -> np.ndarray:
+    """Compact the elements of ``a`` selected by boolean ``mask``."""
+    if len(a) != len(mask):
+        raise ValueError("pack: array and mask lengths differ")
+    acc.charge_cost(model.pack(len(a)))
+    return a[mask]
+
+
+def parallel_sort(a: np.ndarray, acc: CostAccumulator,
+                  model: CostModel = DEFAULT_MODEL) -> np.ndarray:
+    """Sorted copy of ``a`` (parallel comparison sort)."""
+    acc.charge_cost(model.sort(len(a)))
+    return np.sort(a, kind="stable")
+
+
+def parallel_argsort(a: np.ndarray, acc: CostAccumulator,
+                     model: CostModel = DEFAULT_MODEL) -> np.ndarray:
+    """Stable argsort of ``a`` (parallel comparison sort)."""
+    acc.charge_cost(model.sort(len(a)))
+    return np.argsort(a, kind="stable")
+
+
+def parallel_reduce_max(a: np.ndarray, acc: CostAccumulator,
+                        model: CostModel = DEFAULT_MODEL,
+                        default: float = -np.inf) -> float:
+    """Maximum of ``a`` (parallel reduction)."""
+    acc.charge_cost(model.reduce(len(a)))
+    if len(a) == 0:
+        return default
+    return a.max()
+
+
+def parallel_reduce_sum(a: np.ndarray, acc: CostAccumulator,
+                        model: CostModel = DEFAULT_MODEL) -> float:
+    """Sum of ``a`` (parallel reduction)."""
+    acc.charge_cost(model.reduce(len(a)))
+    return a.sum() if len(a) else 0
+
+
+def group_by_key(keys: np.ndarray, values: np.ndarray, acc: CostAccumulator,
+                 model: CostModel = DEFAULT_MODEL
+                 ) -> list[tuple[int, np.ndarray]]:
+    """Group ``values`` by integer ``keys`` via a parallel sort.
+
+    This is the semi-sort idiom the paper uses to update the ``SentLabel``
+    sets (§3.5): sort the pairs by key, then split at key boundaries with a
+    scan.  Returns ``(key, group)`` pairs with each group a numpy array.
+    """
+    if len(keys) != len(values):
+        raise ValueError("group_by_key: keys and values lengths differ")
+    if len(keys) == 0:
+        return []
+    order = parallel_argsort(keys, acc, model)
+    sk = keys[order]
+    sv = values[order]
+    # boundary detection is a parallel map + pack
+    acc.charge_cost(model.map(len(sk)))
+    acc.charge_cost(model.pack(len(sk)))
+    bounds = np.flatnonzero(np.r_[True, sk[1:] != sk[:-1]])
+    out: list[tuple[int, np.ndarray]] = []
+    for idx, start in enumerate(bounds):
+        stop = bounds[idx + 1] if idx + 1 < len(bounds) else len(sk)
+        out.append((int(sk[start]), sv[start:stop]))
+    return out
+
+
+def flatten(arrays: Iterable[np.ndarray], acc: CostAccumulator,
+            model: CostModel = DEFAULT_MODEL,
+            dtype=np.int64) -> np.ndarray:
+    """Concatenate arrays using prefix sums to place segments (§3.5)."""
+    arrays = [np.asarray(a, dtype=dtype) for a in arrays]
+    total = sum(len(a) for a in arrays)
+    acc.charge_cost(model.scan(len(arrays)))
+    acc.charge_cost(model.map(total))
+    if not arrays:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate(arrays)
+
+
+def dedupe(a: np.ndarray, acc: CostAccumulator,
+           model: CostModel = DEFAULT_MODEL) -> np.ndarray:
+    """Sorted unique elements of ``a`` (sort + adjacent-compare + pack)."""
+    acc.charge_cost(model.sort(len(a)))
+    acc.charge_cost(model.pack(len(a)))
+    return np.unique(a)

@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite.
+
+networkx/scipy are used here (and only here) as independent oracles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph
+
+
+def graph_from_triples(n, triples):
+    return DiGraph.from_edges(n, triples)
+
+
+from oracles import nx_sssp_oracle  # noqa: E402,F401 (re-export)
+
+
+@pytest.fixture
+def diamond():
+    """s -> a,b -> t diamond with mixed weights."""
+    #      1        2
+    #  s ----> a ----> t
+    #  s ----> b ----> t
+    #      4        -1
+    return graph_from_triples(4, [(0, 1, 1), (0, 2, 4), (1, 3, 2), (2, 3, -1)])
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

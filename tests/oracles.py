@@ -1,0 +1,25 @@
+"""Independent test oracles (networkx-backed; tests only)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import DiGraph
+
+
+def nx_sssp_oracle(g: DiGraph, source: int):
+    """Bellman-Ford distances via networkx; (dist array, has_neg_cycle)."""
+    import networkx as nx
+
+    G = nx.MultiDiGraph()
+    G.add_nodes_from(range(g.n))
+    for u, v, w in g.edges():
+        G.add_edge(u, v, weight=w)
+    try:
+        lengths = nx.single_source_bellman_ford_path_length(G, source)
+    except nx.NetworkXUnbounded:
+        return None, True
+    dist = np.full(g.n, np.inf)
+    for v, d in lengths.items():
+        dist[v] = d
+    return dist, False

@@ -1,0 +1,153 @@
+"""Tests for the ASSSP engines against the black-box contract."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assp import (
+    DeltaSteppingAssp,
+    ExactAssp,
+    FlakyAssp,
+    PerturbedAssp,
+    get_engine,
+)
+from repro.baselines import dijkstra
+from repro.graph import DiGraph, random_digraph, zero_heavy_digraph
+from repro.runtime import CostAccumulator
+
+
+def contract_holds(g, source, eps, d_prime, exact=None):
+    """dist <= d' everywhere; d' <= (1+eps) dist where finite."""
+    if exact is None:
+        exact = dijkstra(g, source).dist
+    over = d_prime >= exact - 1e-9
+    finite = np.isfinite(exact)
+    within = d_prime[finite] <= (1 + eps) * exact[finite] + 1e-9
+    return bool(over.all()) and bool(within.all())
+
+
+ENGINES = [ExactAssp(), PerturbedAssp(seed=1), DeltaSteppingAssp()]
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+class TestContract:
+    def test_small_graph(self, engine):
+        g = DiGraph.from_edges(4, [(0, 1, 2), (1, 2, 3), (0, 3, 10),
+                                   (2, 3, 1)])
+        d = engine(g, 0, eps=0.25)
+        assert contract_holds(g, 0, 0.25, d)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, engine, seed):
+        g = random_digraph(40, 200, min_w=0, max_w=9, seed=seed)
+        d = engine(g, 0, eps=0.2)
+        assert contract_holds(g, 0, 0.2, d)
+
+    def test_zero_heavy(self, engine):
+        g = zero_heavy_digraph(30, 150, p_zero=0.7, seed=0)
+        d = engine(g, 0, eps=0.25)
+        assert contract_holds(g, 0, 0.25, d)
+
+    def test_unreachable_infinite(self, engine):
+        g = DiGraph.from_edges(3, [(0, 1, 1)])
+        d = engine(g, 0, eps=0.5)
+        assert d[2] == np.inf
+
+    def test_source_zero(self, engine):
+        g = DiGraph.from_edges(2, [(0, 1, 5)])
+        assert engine(g, 0, eps=0.5)[0] == 0
+
+    def test_oracle_cost_charged(self, engine):
+        g = random_digraph(50, 200, min_w=0, max_w=5, seed=1)
+        acc = CostAccumulator()
+        engine(g, 0, eps=0.5, acc=acc)
+        assert acc.work > 0
+        assert acc.span_model > 0
+
+
+class TestPerturbed:
+    def test_actually_perturbs(self):
+        g = random_digraph(60, 300, min_w=1, max_w=9, seed=2)
+        engine = PerturbedAssp(seed=3)
+        d = engine(g, 0, eps=0.5)
+        exact = dijkstra(g, 0).dist
+        finite = np.isfinite(exact) & (exact > 0)
+        assert (d[finite] > exact[finite]).any()
+
+    def test_resamples_each_call(self):
+        g = random_digraph(40, 150, min_w=1, max_w=9, seed=2)
+        engine = PerturbedAssp(seed=3)
+        d1 = engine(g, 0, eps=0.5)
+        d2 = engine(g, 0, eps=0.5)
+        assert not np.array_equal(d1, d2)
+
+
+class TestDeltaStepping:
+    def test_exact_distances(self):
+        g = random_digraph(50, 250, min_w=0, max_w=12, seed=4)
+        d = DeltaSteppingAssp()(g, 0, eps=0.1)
+        np.testing.assert_allclose(d, dijkstra(g, 0).dist)
+
+    def test_explicit_delta(self):
+        g = random_digraph(30, 120, min_w=1, max_w=9, seed=5)
+        d = DeltaSteppingAssp(delta=3)(g, 0, eps=0.1)
+        np.testing.assert_allclose(d, dijkstra(g, 0).dist)
+
+    def test_rejects_negative(self):
+        g = DiGraph.from_edges(2, [(0, 1, -1)])
+        with pytest.raises(ValueError):
+            DeltaSteppingAssp()(g, 0, eps=0.1)
+
+    def test_all_zero_weights(self):
+        g = DiGraph.from_edges(3, [(0, 1, 0), (1, 2, 0)])
+        d = DeltaSteppingAssp()(g, 0, eps=0.1)
+        assert d.tolist() == [0, 0, 0]
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_exact(self, seed):
+        g = random_digraph(20, 70, min_w=0, max_w=7, seed=seed)
+        d = DeltaSteppingAssp()(g, 0, eps=0.1)
+        np.testing.assert_allclose(d, dijkstra(g, 0).dist)
+
+
+class TestFlaky:
+    def test_never_underestimates(self):
+        g = random_digraph(40, 150, min_w=1, max_w=9, seed=6)
+        engine = FlakyAssp(p_fail=1.0, seed=7)
+        exact = dijkstra(g, 0).dist
+        for _ in range(5):
+            d = engine(g, 0, eps=0.25)
+            finite = np.isfinite(exact)
+            assert (d[finite] >= exact[finite] - 1e-9).all()
+
+    def test_violates_epsilon_when_failing(self):
+        g = random_digraph(60, 400, min_w=2, max_w=9, seed=8)
+        engine = FlakyAssp(p_fail=1.0, seed=9)
+        exact = dijkstra(g, 0).dist
+        d = engine(g, 0, eps=0.25)
+        finite = np.isfinite(exact) & (exact > 0)
+        assert (d[finite] > 1.25 * exact[finite]).any()
+        assert engine.failures == 1
+
+    def test_no_failures_at_zero_prob(self):
+        g = random_digraph(30, 120, min_w=0, max_w=5, seed=10)
+        engine = FlakyAssp(p_fail=0.0, seed=11)
+        d = engine(g, 0, eps=0.25)
+        assert contract_holds(g, 0, 0.25, d)
+        assert engine.failures == 0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["exact", "perturbed",
+                                      "delta-stepping", "flaky"])
+    def test_known_names(self, name):
+        assert get_engine(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_engine("magic")
+
+    def test_kwargs_forwarded(self):
+        assert get_engine("flaky", p_fail=0.9).p_fail == 0.9

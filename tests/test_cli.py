@@ -1,0 +1,103 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import loads_dimacs
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr()
+    return rc, out.out, out.err
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["hidden-potential", "bf-hard",
+                                        "random", "dag01", "zero-heavy",
+                                        "planted-cycle"])
+    def test_families_emit_valid_dimacs(self, capsys, family):
+        rc, out, _ = run_cli(capsys, "generate", family, "--n", "20",
+                             "--m", "60", "--spread", "3")
+        assert rc == 0
+        g = loads_dimacs(out)
+        assert g.n == 20
+
+    def test_deterministic(self, capsys):
+        _, a, _ = run_cli(capsys, "generate", "random", "--seed", "5")
+        _, b, _ = run_cli(capsys, "generate", "random", "--seed", "5")
+        assert a == b
+
+
+class TestSolve:
+    def test_solve_feasible(self, capsys, tmp_path):
+        _, text, _ = run_cli(capsys, "generate", "hidden-potential",
+                             "--n", "15", "--m", "50")
+        p = tmp_path / "g.gr"
+        p.write_text(text)
+        rc, out, _ = run_cli(capsys, "solve", str(p))
+        assert rc == 0
+        assert out.startswith("d 1 0")
+
+    def test_solve_cycle_exit_code(self, capsys, tmp_path):
+        _, text, _ = run_cli(capsys, "generate", "planted-cycle",
+                             "--n", "15", "--m", "50", "--spread", "3")
+        p = tmp_path / "g.gr"
+        p.write_text(text)
+        rc, out, _ = run_cli(capsys, "solve", str(p))
+        assert rc == 1
+        assert out.startswith("negative cycle:")
+
+    def test_costs_flag(self, capsys, tmp_path):
+        _, text, _ = run_cli(capsys, "generate", "hidden-potential",
+                             "--n", "12", "--m", "40")
+        p = tmp_path / "g.gr"
+        p.write_text(text)
+        rc, out, err = run_cli(capsys, "solve", str(p), "--costs")
+        assert rc == 0
+        assert "work" in err and "parallelism" in err
+
+    def test_bad_source(self, capsys, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("p sp 2 1\na 1 2 3\n")
+        rc, _, err = run_cli(capsys, "solve", str(p), "--source", "99")
+        assert rc == 2
+        assert "out of range" in err
+
+    def test_sequential_mode(self, capsys, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("p sp 3 2\na 1 2 -1\na 2 3 -1\n")
+        rc, out, _ = run_cli(capsys, "solve", str(p), "--mode", "sequential")
+        assert rc == 0
+        assert "d 3 -2" in out
+
+
+class TestBench:
+    def test_e7_runs(self, capsys):
+        rc, out, _ = run_cli(capsys, "bench", "e7")
+        assert rc == 0
+        assert "eliminated" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_bench(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "nope"])
+
+
+class TestReport:
+    def test_fast_report(self, capsys, tmp_path):
+        out = tmp_path / "R.md"
+        rc, stdout, _ = run_cli(capsys, "report", "--fast",
+                                "--output", str(out))
+        assert rc == 0
+        text = out.read_text()
+        assert text.startswith("# Reproduction report")
+        # every experiment section present
+        for exp_id in ("E1", "E5", "E9", "E13", "E15", "A4"):
+            assert f"## {exp_id}" in text

@@ -1,0 +1,56 @@
+"""Tests for the vectorised CSR gather helpers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DiGraph, in_edge_slots, out_edge_slots, ranges_concat
+
+
+class TestRangesConcat:
+    def test_basic(self):
+        out = ranges_concat(np.array([0, 5]), np.array([3, 7]))
+        assert out.tolist() == [0, 1, 2, 5, 6]
+
+    def test_empty_ranges_skipped(self):
+        out = ranges_concat(np.array([2, 4, 9]), np.array([2, 6, 9]))
+        assert out.tolist() == [4, 5]
+
+    def test_all_empty(self):
+        assert ranges_concat(np.array([1]), np.array([1])).tolist() == []
+
+    def test_no_ranges(self):
+        assert ranges_concat(np.array([], dtype=np.int64),
+                             np.array([], dtype=np.int64)).tolist() == []
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 10)),
+                    max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive(self, pairs):
+        lo = np.array([a for a, _ in pairs], dtype=np.int64)
+        hi = np.array([a + b for a, b in pairs], dtype=np.int64)
+        expected = [x for a, b in pairs for x in range(a, a + b)]
+        assert ranges_concat(lo, hi).tolist() == expected
+
+
+class TestEdgeSlots:
+    def setup_method(self):
+        self.g = DiGraph.from_edges(
+            5, [(0, 1, 1), (0, 2, 1), (1, 2, 1), (2, 3, 1), (3, 1, 1)])
+
+    def test_out_edge_slots_are_edge_ids(self):
+        slots = out_edge_slots(self.g, np.array([0, 2]))
+        # out edges of 0 and 2
+        pairs = sorted(zip(self.g.src[slots].tolist(),
+                           self.g.dst[slots].tolist()))
+        assert pairs == [(0, 1), (0, 2), (2, 3)]
+
+    def test_in_edge_slots_via_reids(self):
+        slots = in_edge_slots(self.g, np.array([2]))
+        eids = self.g.reids[slots]
+        pairs = sorted(zip(self.g.src[eids].tolist(),
+                           self.g.dst[eids].tolist()))
+        assert pairs == [(0, 2), (1, 2)]
+
+    def test_empty_frontier(self):
+        assert out_edge_slots(self.g, np.array([], dtype=np.int64)).tolist() == []

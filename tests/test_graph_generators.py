@@ -1,0 +1,211 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import bellman_ford
+from repro.graph import (
+    DiGraph,
+    grid_graph,
+    hidden_potential_graph,
+    independent_negatives_gadget,
+    is_dag,
+    layered_dag,
+    negative_chain_gadget,
+    planted_negative_cycle_graph,
+    random_dag,
+    random_digraph,
+    scale_weights,
+    topological_order,
+    validate_negative_cycle,
+    zero_heavy_digraph,
+)
+
+
+def reaches_all(g: DiGraph, s: int) -> bool:
+    seen = np.zeros(g.n, dtype=bool)
+    seen[s] = True
+    stack = [s]
+    while stack:
+        u = stack.pop()
+        for v in g.successors(u).tolist():
+            if not seen[v]:
+                seen[v] = True
+                stack.append(v)
+    return bool(seen.all())
+
+
+class TestRandomDigraph:
+    def test_simple_no_self_loops(self):
+        g = random_digraph(50, 300, seed=0)
+        assert (g.src != g.dst).all()
+        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        assert len(pairs) == g.m
+
+    def test_weight_range(self):
+        g = random_digraph(30, 100, min_w=2, max_w=5, seed=1)
+        assert g.w.min() >= 2 and g.w.max() <= 5
+
+    def test_deterministic(self):
+        a = random_digraph(20, 60, seed=7)
+        b = random_digraph(20, 60, seed=7)
+        np.testing.assert_array_equal(a.src, b.src)
+        np.testing.assert_array_equal(a.w, b.w)
+
+    def test_tiny(self):
+        assert random_digraph(1, 5, seed=0).m == 0
+        assert random_digraph(0, 5, seed=0).n == 0
+
+
+class TestRandomDag:
+    def test_is_dag(self):
+        g = random_dag(40, 150, seed=3)
+        assert is_dag(g)
+
+    def test_weights_restricted(self):
+        g = random_dag(40, 150, weights=(0, -1), seed=3)
+        assert set(np.unique(g.w).tolist()) <= {0, -1}
+
+    def test_source_reaches_all(self):
+        g = random_dag(40, 150, seed=3, connect_from_source=0)
+        assert reaches_all(g, 0)
+
+    def test_no_source_connection(self):
+        g = random_dag(40, 10, seed=3, connect_from_source=None)
+        assert is_dag(g)
+
+
+class TestLayeredDag:
+    def test_structure(self):
+        g = layered_dag(5, 4, seed=0)
+        assert g.n == 21
+        assert is_dag(g)
+        assert reaches_all(g, 0)
+
+    def test_weights_01(self):
+        g = layered_dag(4, 3, p_negative=0.7, seed=1)
+        assert set(np.unique(g.w).tolist()) <= {0, -1}
+
+    def test_long_edges_keep_dagness(self):
+        g = layered_dag(6, 3, long_edges=10, seed=2)
+        assert is_dag(g)
+
+    def test_all_negative(self):
+        g = layered_dag(3, 2, p_negative=1.0, seed=0)
+        assert (g.w == -1).all()
+
+
+class TestHiddenPotential:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_no_negative_cycle(self, seed):
+        g = hidden_potential_graph(40, 200, seed=seed)
+        res = bellman_ford(g, 0)
+        assert not res.has_negative_cycle
+
+    def test_has_negative_edges(self):
+        g = hidden_potential_graph(60, 400, potential_spread=30, seed=0)
+        assert g.w.min() < 0
+
+    def test_source_reaches_all(self):
+        g = hidden_potential_graph(30, 100, seed=5)
+        assert reaches_all(g, 0)
+
+
+class TestPlantedCycle:
+    @pytest.mark.parametrize("clen", [2, 3, 7])
+    def test_cycle_is_negative(self, clen):
+        g, cyc = planted_negative_cycle_graph(30, 120, clen, seed=0)
+        assert len(cyc) == clen
+        assert validate_negative_cycle(g, cyc)
+
+    def test_detected_by_bellman_ford(self):
+        g, cyc = planted_negative_cycle_graph(25, 100, 4, seed=1)
+        # connect source to the cycle to ensure reachability
+        src = np.r_[g.src, [0]]
+        dst = np.r_[g.dst, [cyc[0]]]
+        w = np.r_[g.w, [0]]
+        g2 = DiGraph(g.n, src, dst, w)
+        assert bellman_ford(g2, 0).has_negative_cycle
+
+    def test_bad_cycle_len(self):
+        with pytest.raises(ValueError):
+            planted_negative_cycle_graph(5, 10, 1, seed=0)
+
+
+class TestGadgets:
+    def test_negative_chain(self):
+        g = negative_chain_gadget(5)
+        assert is_dag(g)
+        d = bellman_ford(g, 0).dist
+        assert d[5] == -5
+
+    def test_negative_chain_with_tails(self):
+        g = negative_chain_gadget(3, tail=2)
+        assert g.n == 4 + 4 * 2
+        assert is_dag(g)
+
+    def test_independent_negatives(self):
+        g = independent_negatives_gadget(4)
+        d = bellman_ford(g, 0).dist
+        assert (d[1:] == -1).all()
+
+    def test_grid(self):
+        g = grid_graph(4, 5, seed=0)
+        assert g.n == 20
+        assert is_dag(g)
+        assert g.m == 4 * 4 + 3 * 5  # right + down edges
+
+    def test_zero_heavy(self):
+        g = zero_heavy_digraph(40, 300, p_zero=0.9, seed=0)
+        assert (g.w >= 0).all()
+        assert (g.w == 0).mean() > 0.5
+
+    def test_scale_weights(self):
+        g = DiGraph.from_edges(2, [(0, 1, -3)])
+        assert scale_weights(g, 10).w.tolist() == [-30]
+
+
+class TestGeometricAndPowerLaw:
+    def test_geometric_feasible(self):
+        from repro.graph import geometric_digraph
+
+        g = geometric_digraph(150, seed=0)
+        assert g.w.min() < 0
+        assert not bellman_ford(g, 0).has_negative_cycle
+
+    def test_geometric_locality(self):
+        """Geometric graphs have higher hop diameter than uniform random
+        ones of the same size (the road-network character)."""
+        from repro.graph import geometric_digraph
+
+        g = geometric_digraph(300, seed=1)
+        r = random_digraph(300, g.m, seed=1)
+        bf_g = bellman_ford(g.with_weights(np.ones(g.m, dtype=np.int64)), 0)
+        bf_r = bellman_ford(r.with_weights(np.ones(r.m, dtype=np.int64)), 0)
+        assert bf_g.rounds > bf_r.rounds
+
+    def test_geometric_tiny(self):
+        from repro.graph import geometric_digraph
+
+        assert geometric_digraph(1, seed=0).n == 1
+
+    def test_power_law_feasible(self):
+        from repro.graph import power_law_digraph
+
+        g = power_law_digraph(150, seed=0)
+        assert g.w.min() < 0
+        assert not bellman_ford(g, 0).has_negative_cycle
+
+    def test_power_law_hub_degrees(self):
+        """Preferential attachment: the max total degree far exceeds the
+        median (hub-dominated)."""
+        from repro.graph import power_law_digraph
+
+        g = power_law_digraph(400, seed=2)
+        deg = g.out_degree() + g.in_degree()
+        assert deg.max() > 6 * np.median(deg)
+
+    def test_power_law_tiny(self):
+        from repro.graph import power_law_digraph
+
+        assert power_law_digraph(0, seed=0).n == 0

@@ -1,0 +1,99 @@
+"""Tests for networkx/scipy interop (optional dependencies, test-only)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import bellman_ford
+from repro.graph import (
+    DiGraph,
+    from_networkx,
+    from_scipy_sparse,
+    hidden_potential_graph,
+    to_networkx,
+    to_scipy_sparse,
+)
+
+
+class TestNetworkx:
+    def test_roundtrip(self):
+        g = hidden_potential_graph(20, 80, seed=0)
+        g2 = from_networkx(to_networkx(g))
+        assert sorted(g.edges()) == sorted(g2.edges())
+
+    def test_arbitrary_node_labels(self):
+        import networkx as nx
+
+        G = nx.DiGraph()
+        G.add_edge("a", "b", weight=3)
+        G.add_edge("b", "c", weight=-1)
+        g = from_networkx(G)
+        assert g.n == 3 and g.m == 2
+        assert sorted(g.w.tolist()) == [-1, 3]
+
+    def test_default_weight(self):
+        import networkx as nx
+
+        G = nx.DiGraph()
+        G.add_edge(0, 1)
+        assert from_networkx(G, default=5).w.tolist() == [5]
+
+    def test_rejects_float_weight(self):
+        import networkx as nx
+
+        G = nx.DiGraph()
+        G.add_edge(0, 1, weight=1.5)
+        with pytest.raises(ValueError, match="non-integer"):
+            from_networkx(G)
+
+    def test_solver_agrees_with_networkx_graph(self):
+        g = hidden_potential_graph(15, 60, seed=1)
+        import networkx as nx
+
+        G = to_networkx(g)
+        lengths = nx.single_source_bellman_ford_path_length(G, 0)
+        res = bellman_ford(g, 0)
+        for v, d in lengths.items():
+            assert res.dist[v] == d
+
+
+class TestScipy:
+    def test_roundtrip(self):
+        g = DiGraph.from_edges(4, [(0, 1, 5), (2, 3, -2), (1, 2, 0)])
+        m = to_scipy_sparse(g)
+        g2 = from_scipy_sparse(m)
+        # note: the 0-weight edge survives as an explicit entry
+        assert sorted(g.edges()) == sorted(g2.edges())
+
+    def test_parallel_edges_collapse_to_min(self):
+        g = DiGraph.from_edges(2, [(0, 1, 7), (0, 1, 3)])
+        m = to_scipy_sparse(g)
+        assert m[0, 1] == 3
+
+    def test_empty(self):
+        g = DiGraph.from_edges(3, [])
+        assert to_scipy_sparse(g).nnz == 0
+        assert from_scipy_sparse(to_scipy_sparse(g)).n == 3
+
+    def test_rejects_nonsquare(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(ValueError, match="square"):
+            from_scipy_sparse(sp.csr_matrix((2, 3)))
+
+    def test_rejects_float_weights(self):
+        import scipy.sparse as sp
+
+        m = sp.csr_matrix(np.array([[0, 1.5], [0, 0]]))
+        with pytest.raises(ValueError, match="integers"):
+            from_scipy_sparse(m)
+
+    def test_scipy_shortest_path_agrees(self):
+        import scipy.sparse.csgraph as csgraph
+
+        g = DiGraph.from_edges(4, [(0, 1, 2), (1, 2, 3), (0, 2, 9),
+                                   (2, 3, 1)])
+        m = to_scipy_sparse(g)
+        d = csgraph.dijkstra(m, indices=0)
+        from repro.baselines import dijkstra
+
+        np.testing.assert_array_equal(d, dijkstra(g, 0).dist)

@@ -1,0 +1,109 @@
+"""Unit tests for §4.2 verification internals and the SP tree builder."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dijkstra
+from repro.graph import DiGraph, zero_heavy_digraph
+from repro.limited import (
+    shortest_path_tree,
+    verify_limited_distances,
+    zero_cycle_condensation,
+)
+
+
+class TestZeroCycleCondensation:
+    def test_contracts_zero_cycles_only(self):
+        g = DiGraph.from_edges(5, [(0, 1, 0), (1, 0, 0),     # 0-cycle
+                                   (2, 3, 1), (3, 2, 1),     # weighted cycle
+                                   (1, 2, 2), (3, 4, 0)])
+        cond = zero_cycle_condensation(g)
+        assert cond.comp[0] == cond.comp[1]
+        assert cond.comp[2] != cond.comp[3]
+        assert cond.n_components == 4
+
+    def test_weight_override(self):
+        g = DiGraph.from_edges(2, [(0, 1, 5), (1, 0, 5)])
+        cond = zero_cycle_condensation(g, weights=np.array([0, 0]))
+        assert cond.n_components == 1
+
+    def test_no_zero_edges(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1), (1, 2, 2)])
+        assert zero_cycle_condensation(g).n_components == 3
+
+
+class TestVerifierEdgeCases:
+    def test_empty_graph_single_vertex(self):
+        g = DiGraph.from_edges(1, [])
+        assert verify_limited_distances(g, 0, np.array([0.0]), 5)
+
+    def test_isolated_vertices(self):
+        g = DiGraph.from_edges(3, [])
+        d = np.array([0.0, np.inf, np.inf])
+        assert verify_limited_distances(g, 0, d, 5)
+
+    def test_self_loop_ignored(self):
+        g = DiGraph.from_edges(2, [(0, 0, 3), (0, 1, 1)])
+        assert verify_limited_distances(g, 0, np.array([0.0, 1.0]), 5)
+
+    def test_zero_self_loop(self):
+        g = DiGraph.from_edges(2, [(0, 0, 0), (0, 1, 1)])
+        assert verify_limited_distances(g, 0, np.array([0.0, 1.0]), 5)
+
+    def test_parallel_edges_use_min(self):
+        g = DiGraph.from_edges(2, [(0, 1, 5), (0, 1, 2)])
+        assert verify_limited_distances(g, 0, np.array([0.0, 2.0]), 9)
+        assert not verify_limited_distances(g, 0, np.array([0.0, 5.0]), 9)
+
+    def test_limit_zero(self):
+        g = DiGraph.from_edges(3, [(0, 1, 0), (1, 2, 4)])
+        assert verify_limited_distances(g, 0, np.array([0.0, 0.0, np.inf]),
+                                        0)
+        assert not verify_limited_distances(g, 0,
+                                            np.array([0.0, np.inf, np.inf]),
+                                            0)
+
+
+class TestShortestPathTreeInternals:
+    def walk(self, g, parent, v):
+        total, seen = 0, set()
+        while parent[v] >= 0:
+            assert v not in seen
+            seen.add(v)
+            p = int(parent[v])
+            total += g.min_weight_between(p, v)
+            v = p
+        return total, v
+
+    def test_zero_cycle_members_get_parents(self):
+        g = DiGraph.from_edges(4, [(0, 1, 2), (1, 2, 0), (2, 3, 0),
+                                   (3, 1, 0)])
+        d = np.array([0.0, 2.0, 2.0, 2.0])
+        parent = shortest_path_tree(g, 0, d)
+        for v in (1, 2, 3):
+            total, root = self.walk(g, parent, v)
+            assert root == 0 and total == d[v]
+
+    def test_source_inside_zero_cycle(self):
+        g = DiGraph.from_edges(3, [(0, 1, 0), (1, 0, 0), (1, 2, 3)])
+        d = np.array([0.0, 0.0, 3.0])
+        parent = shortest_path_tree(g, 0, d)
+        assert parent[0] == -1
+        total, root = self.walk(g, parent, 2)
+        assert root == 0 and total == 3
+
+    def test_infinite_vertices_off_tree(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1)])
+        parent = shortest_path_tree(g, 0, np.array([0.0, 1.0, np.inf]))
+        assert parent[2] == -1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_consistency(self, seed):
+        g = zero_heavy_digraph(40, 220, p_zero=0.6, seed=seed)
+        d = dijkstra(g, 0, limit=10).dist
+        parent = shortest_path_tree(g, 0, d)
+        for v in range(g.n):
+            if np.isfinite(d[v]) and v != 0:
+                total, root = self.walk(g, parent, v)
+                assert root == 0
+                assert total == d[v]

@@ -1,0 +1,85 @@
+"""Tests for hub shortcutting (span/work trade-off demonstration)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DiGraph, bf_hard_graph, random_digraph
+from repro.reach import (
+    build_hub_shortcuts,
+    multisource_reachability,
+    multisource_reachability_shortcut,
+)
+from repro.runtime import CostAccumulator
+
+
+def reach_mask(g, sources):
+    return multisource_reachability(g, np.asarray(sources)).pi >= 0
+
+
+class TestBuildHubShortcuts:
+    def test_preserves_reachability(self):
+        g = random_digraph(40, 120, seed=0)
+        sc = build_hub_shortcuts(g, 6, seed=0)
+        for s in (0, 7, 23):
+            np.testing.assert_array_equal(reach_mask(g, [s]),
+                                          reach_mask(sc.graph, [s]))
+
+    def test_no_hubs_is_identity(self):
+        g = random_digraph(20, 60, seed=1)
+        sc = build_hub_shortcuts(g, 0, seed=1)
+        assert sc.added_edges == 0
+        assert sc.graph.m == g.m
+
+    def test_negative_hub_count(self):
+        g = random_digraph(10, 20, seed=2)
+        with pytest.raises(ValueError):
+            build_hub_shortcuts(g, -1)
+
+    def test_hub_count_capped_at_n(self):
+        g = random_digraph(5, 10, seed=3)
+        sc = build_hub_shortcuts(g, 50, seed=3)
+        assert len(sc.hubs) == 5
+
+    def test_cost_charged(self):
+        g = random_digraph(30, 90, seed=4)
+        acc = CostAccumulator()
+        build_hub_shortcuts(g, 4, seed=4, acc=acc)
+        assert acc.work > 0
+
+    @given(st.integers(0, 3000), st.integers(0, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_property_reachability_equivalent(self, seed, hubs):
+        g = random_digraph(15, 45, seed=seed)
+        sc = build_hub_shortcuts(g, hubs, seed=seed)
+        np.testing.assert_array_equal(reach_mask(g, [0]),
+                                      reach_mask(sc.graph, [0]))
+
+
+class TestShortcutReachability:
+    def test_same_coverage_as_plain(self):
+        g = bf_hard_graph(300, 600, seed=5)
+        plain = multisource_reachability(g, np.array([0]))
+        fast = multisource_reachability_shortcut(g, np.array([0]), 8,
+                                                 seed=5)
+        np.testing.assert_array_equal(plain.pi >= 0, fast.pi >= 0)
+
+    def test_rounds_collapse_on_path_graphs(self):
+        """The point of shortcutting: BFS rounds drop from Θ(n) to O(1)-ish
+        once hubs cover the path."""
+        n = 500
+        g = DiGraph.from_edges(n, [(i, i + 1, 0) for i in range(n - 1)])
+        plain = multisource_reachability(g, np.array([0]))
+        fast = multisource_reachability_shortcut(g, np.array([0]), 10,
+                                                 seed=0)
+        assert plain.rounds >= n - 1
+        assert fast.rounds < plain.rounds / 10
+        np.testing.assert_array_equal(plain.pi >= 0, fast.pi >= 0)
+
+    def test_work_grows_with_hubs(self):
+        """The other side of the trade: more hubs, more shortcut edges."""
+        g = bf_hard_graph(400, 800, seed=6)
+        small = build_hub_shortcuts(g, 2, seed=6)
+        big = build_hub_shortcuts(g, 20, seed=6)
+        assert big.added_edges > small.added_edges

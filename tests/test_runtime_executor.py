@@ -1,0 +1,54 @@
+"""Tests for the optional fork-join thread executor."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import ForkJoinPool, default_pool
+
+
+class TestForkJoinPool:
+    def test_sequential_fallback(self):
+        out = np.zeros(10)
+        with ForkJoinPool(n_workers=1) as pool:
+            pool.parallel_for(10, lambda lo, hi: out.__setitem__(
+                slice(lo, hi), np.arange(lo, hi)))
+        np.testing.assert_array_equal(out, np.arange(10))
+
+    def test_threaded_blocks_disjoint(self):
+        n = 50_000
+        out = np.zeros(n, dtype=np.int64)
+
+        def body(lo, hi):
+            out[lo:hi] = np.arange(lo, hi)
+
+        with ForkJoinPool(n_workers=4) as pool:
+            pool.parallel_for(n, body, grain=1000)
+        np.testing.assert_array_equal(out, np.arange(n))
+
+    def test_empty_range(self):
+        called = []
+        with ForkJoinPool(n_workers=2) as pool:
+            pool.parallel_for(0, lambda lo, hi: called.append((lo, hi)))
+        assert called == []
+
+    def test_small_range_single_call(self):
+        calls = []
+        with ForkJoinPool(n_workers=4) as pool:
+            pool.parallel_for(10, lambda lo, hi: calls.append((lo, hi)),
+                              grain=1024)
+        assert calls == [(0, 10)]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ForkJoinPool(n_workers=0)
+
+    def test_exception_propagates(self):
+        def body(lo, hi):
+            raise RuntimeError("boom")
+
+        with ForkJoinPool(n_workers=2) as pool:
+            with pytest.raises(RuntimeError):
+                pool.parallel_for(10_000, body, grain=10)
+
+    def test_default_pool_singleton(self):
+        assert default_pool() is default_pool()

@@ -1,0 +1,114 @@
+"""Tests for the cost-model formulas and stage tagging."""
+
+import math
+
+import pytest
+
+from repro.runtime import Cost, CostAccumulator, CostModel, DEFAULT_MODEL, lg
+
+
+class TestFormulas:
+    def test_lg_smoothed(self):
+        assert lg(0) == 1.0  # log2(2)
+        assert lg(2) == 2.0
+        assert lg(14) == 4.0
+
+    def test_map_linear_work_log_span(self):
+        c = DEFAULT_MODEL.map(1000)
+        assert c.work == 1000
+        assert c.span == pytest.approx(lg(1000))
+
+    def test_map_per_item_work(self):
+        assert DEFAULT_MODEL.map(10, per_item_work=2.5).work == 25
+
+    def test_degenerate_sizes_cost_at_least_one(self):
+        for fn in (DEFAULT_MODEL.map, DEFAULT_MODEL.reduce,
+                   DEFAULT_MODEL.scan, DEFAULT_MODEL.sort):
+            assert fn(0).work >= 1
+            assert fn(0).span > 0
+
+    def test_sort_n_log_n(self):
+        c = DEFAULT_MODEL.sort(1 << 10)
+        assert c.work == pytest.approx((1 << 10) * lg(1 << 10))
+        assert c.span == pytest.approx(lg(1 << 10) ** 2)
+
+    def test_set_merge_small_into_big(self):
+        c = DEFAULT_MODEL.set_merge(8, 1 << 16)
+        # m lg(n/m) growth: merging few into many is cheap
+        assert c.work < DEFAULT_MODEL.set_merge(1 << 15, 1 << 16).work
+
+    def test_oracle_span_sqrt_shape(self):
+        m = DEFAULT_MODEL
+        assert m.oracle_span(400) / m.oracle_span(100) == pytest.approx(
+            2 * lg(400) / lg(100), rel=1e-9)
+
+    def test_oracle_span_exponent_configurable(self):
+        steep = CostModel(reach_span_exponent=1.0)
+        assert steep.oracle_span(100) > DEFAULT_MODEL.oracle_span(100)
+
+    def test_dijkstra_span_linearish(self):
+        c = DEFAULT_MODEL.dijkstra(100, 500)
+        assert c.span == pytest.approx(100 * lg(100))
+
+    def test_bfs_round(self):
+        c = DEFAULT_MODEL.bfs_round(25, 1000)
+        assert c.work == 25
+        assert c.span == pytest.approx(lg(1000))
+
+    def test_monotone_in_size(self):
+        m = DEFAULT_MODEL
+        for fn in (m.map, m.reduce, m.scan, m.pack, m.sort,
+                   m.set_enumerate):
+            assert fn(2000).work >= fn(20).work
+            assert fn(2000).span >= fn(20).span
+
+
+class TestStageTagging:
+    def test_single_stage(self):
+        acc = CostAccumulator()
+        with acc.stage("a"):
+            acc.charge(10, 2)
+        assert acc.stages["a"].work == 10
+        assert acc.stages["a"].span == 2
+
+    def test_stage_accumulates_across_entries(self):
+        acc = CostAccumulator()
+        for _ in range(3):
+            with acc.stage("a"):
+                acc.charge(5, 1)
+        assert acc.stages["a"].work == 15
+
+    def test_untagged_charges_not_attributed(self):
+        acc = CostAccumulator()
+        acc.charge(7, 7)
+        with acc.stage("a"):
+            acc.charge(3, 3)
+        assert acc.stages["a"].work == 3
+        assert acc.work == 10
+
+    def test_stage_records_on_exception(self):
+        acc = CostAccumulator()
+        with pytest.raises(RuntimeError):
+            with acc.stage("a"):
+                acc.charge(4, 4)
+                raise RuntimeError("boom")
+        assert acc.stages["a"].work == 4
+
+    def test_merge_stages_from(self):
+        a, b = CostAccumulator(), CostAccumulator()
+        with a.stage("x"):
+            a.charge(1, 1)
+        with b.stage("x"):
+            b.charge(2, 2)
+        with b.stage("y"):
+            b.charge(5, 5)
+        a.merge_stages_from(b)
+        assert a.stages["x"].work == 3
+        assert a.stages["y"].work == 5
+
+    def test_stage_tracks_model_span(self):
+        acc = CostAccumulator()
+        with acc.stage("a"):
+            acc.charge(10, span=1, span_model=8)
+        assert acc.stages["a"].span == 1
+        assert acc.stages["a"].span_model == 8

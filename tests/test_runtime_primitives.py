@@ -1,0 +1,164 @@
+"""Unit + property tests for the data-parallel primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.runtime import CostAccumulator, DEFAULT_MODEL
+from repro.runtime.model import lg
+from repro.runtime.primitives import (
+    dedupe,
+    flatten,
+    group_by_key,
+    pack,
+    parallel_argsort,
+    parallel_map,
+    parallel_reduce_max,
+    parallel_reduce_sum,
+    parallel_sort,
+    prefix_sum,
+)
+
+int_arrays = hnp.arrays(np.int64, st.integers(0, 200),
+                        elements=st.integers(-1000, 1000))
+
+
+class TestPrefixSum:
+    def test_exclusive_semantics(self):
+        acc = CostAccumulator()
+        out = prefix_sum(np.array([3, 1, 4, 1, 5]), acc)
+        assert out.tolist() == [0, 3, 4, 8, 9, 14]
+
+    def test_empty(self):
+        acc = CostAccumulator()
+        assert prefix_sum(np.array([], dtype=np.int64), acc).tolist() == [0]
+
+    def test_charges_linear_work(self):
+        acc = CostAccumulator()
+        prefix_sum(np.arange(100), acc)
+        assert acc.work == 100
+        assert acc.span == pytest.approx(lg(100))
+
+    @given(int_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_cumsum(self, a):
+        acc = CostAccumulator()
+        out = prefix_sum(a, acc)
+        assert out[0] == 0
+        np.testing.assert_array_equal(out[1:], np.cumsum(a))
+
+
+class TestPack:
+    def test_selects_masked(self):
+        acc = CostAccumulator()
+        a = np.array([1, 2, 3, 4])
+        m = np.array([True, False, True, False])
+        assert pack(a, m, acc).tolist() == [1, 3]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pack(np.arange(3), np.array([True]), CostAccumulator())
+
+    def test_span_is_logarithmic(self):
+        acc = CostAccumulator()
+        pack(np.arange(1024), np.zeros(1024, dtype=bool), acc)
+        assert acc.span == pytest.approx(2 * lg(1024))
+
+
+class TestSort:
+    @given(int_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_sorted_output(self, a):
+        acc = CostAccumulator()
+        out = parallel_sort(a, acc)
+        np.testing.assert_array_equal(out, np.sort(a))
+
+    def test_argsort_stable(self):
+        acc = CostAccumulator()
+        a = np.array([2, 1, 2, 1])
+        order = parallel_argsort(a, acc)
+        assert order.tolist() == [1, 3, 0, 2]
+
+    def test_work_n_log_n(self):
+        acc = CostAccumulator()
+        parallel_sort(np.arange(256), acc)
+        assert acc.work == pytest.approx(256 * lg(256))
+        assert acc.span == pytest.approx(lg(256) ** 2)
+
+
+class TestReduce:
+    def test_max_empty_default(self):
+        acc = CostAccumulator()
+        assert parallel_reduce_max(np.array([]), acc, default=-1) == -1
+
+    def test_max(self):
+        acc = CostAccumulator()
+        assert parallel_reduce_max(np.array([3, 9, 2]), acc) == 9
+
+    def test_sum(self):
+        acc = CostAccumulator()
+        assert parallel_reduce_sum(np.array([3, 9, 2]), acc) == 14
+
+    def test_sum_empty(self):
+        acc = CostAccumulator()
+        assert parallel_reduce_sum(np.array([]), acc) == 0
+
+
+class TestParallelMap:
+    def test_applies_function(self):
+        acc = CostAccumulator()
+        assert parallel_map([1, 2, 3], lambda x: x * x, acc) == [1, 4, 9]
+
+    def test_charges_per_item_work(self):
+        acc = CostAccumulator()
+        parallel_map(list(range(10)), lambda x: x, acc, per_item_work=3.0)
+        assert acc.work == 30
+
+
+class TestGroupByKey:
+    def test_groups(self):
+        acc = CostAccumulator()
+        keys = np.array([2, 1, 2, 1, 3])
+        vals = np.array([10, 20, 30, 40, 50])
+        groups = dict((k, sorted(v.tolist()))
+                      for k, v in group_by_key(keys, vals, acc))
+        assert groups == {1: [20, 40], 2: [10, 30], 3: [50]}
+
+    def test_empty(self):
+        acc = CostAccumulator()
+        assert group_by_key(np.array([], dtype=np.int64),
+                            np.array([], dtype=np.int64), acc) == []
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            group_by_key(np.arange(3), np.arange(2), CostAccumulator())
+
+    @given(hnp.arrays(np.int64, st.integers(1, 50),
+                      elements=st.integers(0, 5)))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_property(self, keys):
+        """Groups partition the values and preserve key association."""
+        acc = CostAccumulator()
+        vals = np.arange(len(keys))
+        groups = group_by_key(keys, vals, acc)
+        seen = np.concatenate([v for _, v in groups]) if groups else np.array([])
+        assert sorted(seen.tolist()) == list(range(len(keys)))
+        for k, v in groups:
+            assert (keys[v] == k).all()
+
+
+class TestFlattenDedupe:
+    def test_flatten(self):
+        acc = CostAccumulator()
+        out = flatten([np.array([1, 2]), np.array([]), np.array([3])], acc)
+        assert out.tolist() == [1, 2, 3]
+
+    def test_flatten_empty(self):
+        acc = CostAccumulator()
+        assert flatten([], acc).tolist() == []
+
+    def test_dedupe(self):
+        acc = CostAccumulator()
+        assert dedupe(np.array([3, 1, 3, 2, 1]), acc).tolist() == [1, 2, 3]

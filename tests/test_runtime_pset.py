@@ -1,0 +1,111 @@
+"""Tests for parallel ordered sets and the vector-of-sets (§3.5, §4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import CostAccumulator, SetVector, SortedIntSet
+
+
+class TestSortedIntSet:
+    def test_empty(self):
+        s = SortedIntSet()
+        assert len(s) == 0
+        assert 5 not in s
+
+    def test_init_dedupes_and_sorts(self):
+        s = SortedIntSet(np.array([3, 1, 3, 2]))
+        assert s.to_list() == [1, 2, 3]
+
+    def test_contains(self):
+        s = SortedIntSet(np.array([10, 20, 30]))
+        assert 20 in s and 15 not in s and 40 not in s
+
+    def test_merge_into_empty(self):
+        s = SortedIntSet()
+        s.merge(np.array([5, 1]))
+        assert s.to_list() == [1, 5]
+
+    def test_merge_empty_arg(self):
+        s = SortedIntSet(np.array([1]))
+        s.merge(np.array([], dtype=np.int64))
+        assert s.to_list() == [1]
+
+    def test_merge_overlapping(self):
+        s = SortedIntSet(np.array([1, 3]))
+        s.merge(SortedIntSet(np.array([2, 3, 4])))
+        assert s.to_list() == [1, 2, 3, 4]
+
+    def test_merge_charges_cost(self):
+        acc = CostAccumulator()
+        s = SortedIntSet(np.arange(100))
+        s.merge(np.arange(100, 110), acc)
+        assert acc.work > 0 and acc.span > 0
+
+    def test_enumerate_readonly(self):
+        s = SortedIntSet(np.array([1, 2]))
+        view = s.enumerate()
+        with pytest.raises(ValueError):
+            view[0] = 9
+
+    def test_clear(self):
+        s = SortedIntSet(np.array([1, 2]))
+        s.clear()
+        assert len(s) == 0
+
+    def test_difference_update(self):
+        s = SortedIntSet(np.array([1, 2, 3, 4]))
+        s.difference_update(np.array([2, 4, 9]))
+        assert s.to_list() == [1, 3]
+
+    def test_difference_update_empty(self):
+        s = SortedIntSet(np.array([1]))
+        s.difference_update(np.array([], dtype=np.int64))
+        assert s.to_list() == [1]
+
+    @given(st.lists(st.integers(0, 50), max_size=40),
+           st.lists(st.integers(0, 50), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_set_union(self, a, b):
+        s = SortedIntSet(np.array(a, dtype=np.int64))
+        s.merge(np.array(b, dtype=np.int64))
+        assert s.to_list() == sorted(set(a) | set(b))
+
+
+class TestSetVector:
+    def test_init_sizes(self):
+        vs = SetVector(5)
+        assert len(vs) == 5
+        assert all(vs.size(i) == 0 for i in range(5))
+
+    def test_add_and_gather(self):
+        vs = SetVector(3)
+        vs.add_batch(0, np.array([1, 2]))
+        vs.add_batch(2, np.array([5]))
+        out = vs.gather([0, 1, 2])
+        assert sorted(out.tolist()) == [1, 2, 5]
+
+    def test_gather_empty_idents(self):
+        vs = SetVector(3)
+        assert vs.gather([]).tolist() == []
+
+    def test_clear_many(self):
+        vs = SetVector(3)
+        vs.add_batch(0, np.array([1]))
+        vs.add_batch(1, np.array([2]))
+        vs.clear_many([0])
+        assert vs.size(0) == 0 and vs.size(1) == 1
+
+    def test_add_batch_dedupes(self):
+        vs = SetVector(1)
+        vs.add_batch(0, np.array([1, 1, 2]))
+        vs.add_batch(0, np.array([2, 3]))
+        assert vs.size(0) == 3
+
+    def test_costs_charged(self):
+        acc = CostAccumulator()
+        vs = SetVector(4, acc)
+        vs.add_batch(0, np.arange(10), acc)
+        vs.gather([0, 1], acc)
+        assert acc.work >= 10

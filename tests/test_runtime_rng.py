@@ -1,0 +1,67 @@
+"""Tests for deterministic RNG and geometric priorities (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import geometric_priorities, make_rng, priority_cap
+
+
+class TestMakeRng:
+    def test_seed_deterministic(self):
+        a = make_rng(7).random(3)
+        b = make_rng(7).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+
+class TestPriorityCap:
+    @pytest.mark.parametrize("n,expect", [(1, 1), (2, 1), (3, 2), (4, 2),
+                                          (5, 3), (1024, 10), (1025, 11)])
+    def test_cap_values(self, n, expect):
+        assert priority_cap(n) == expect
+
+
+class TestGeometricPriorities:
+    def test_range(self):
+        pri = geometric_priorities(1000, make_rng(0))
+        cap = priority_cap(1000)
+        assert pri.min() >= 1 and pri.max() <= cap
+
+    def test_empty(self):
+        assert len(geometric_priorities(0, make_rng(0))) == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_priorities(-1, make_rng(0))
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_priorities(5, make_rng(0), cap=0)
+
+    def test_deterministic_given_seed(self):
+        a = geometric_priorities(100, make_rng(3))
+        b = geometric_priorities(100, make_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_distribution_shape(self):
+        """P(priority = i) ≈ 2^-i for i below the cap."""
+        n = 200_000
+        pri = geometric_priorities(n, make_rng(42), cap=20)
+        frac1 = (pri == 1).mean()
+        frac2 = (pri == 2).mean()
+        frac3 = (pri == 3).mean()
+        assert abs(frac1 - 0.5) < 0.01
+        assert abs(frac2 - 0.25) < 0.01
+        assert abs(frac3 - 0.125) < 0.01
+
+    def test_tail_mass_rounds_to_cap(self):
+        """The tail collapses onto the cap: P(cap) ≈ 2^-(cap-1)."""
+        n = 400_000
+        cap = 4
+        pri = geometric_priorities(n, make_rng(9), cap=cap)
+        # P(4) = tail of geometric beyond 3 = 2^-3
+        assert abs((pri == cap).mean() - 0.125) < 0.01
+        assert (pri <= cap).all()

@@ -1,0 +1,81 @@
+"""Moderate-scale stress tests: the pipeline at thousands of vertices.
+
+These run in a few seconds each and guard against superlinear blow-ups
+(like the SCC degeneration found during development, see ALGORITHMS.md §3).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import bellman_ford
+from repro.core import solve_sssp
+from repro.dag01 import dag01_limited_sssp
+from repro.graph import (
+    bf_hard_graph,
+    hidden_potential_graph,
+    layered_dag,
+    planted_negative_cycle_graph,
+    validate_negative_cycle,
+)
+from repro.limited import limited_sssp
+from repro.reach import scc, scc_sequential
+
+
+class TestScale:
+    def test_solver_n3000(self):
+        g = bf_hard_graph(3000, 9000, seed=0)
+        t0 = time.perf_counter()
+        res = solve_sssp(g, 0, seed=0)
+        elapsed = time.perf_counter() - t0
+        np.testing.assert_array_equal(res.dist, bellman_ford(g, 0).dist)
+        assert elapsed < 60, f"solver too slow: {elapsed:.1f}s"
+        # work advantage over Bellman-Ford must hold at this size (E9)
+        assert res.cost.work < bellman_ford(g, 0).cost.work
+
+    def test_peeling_n5000(self):
+        g = layered_dag(50, 100, p_negative=0.5, seed=1)
+        assert g.n == 5001
+        res = dag01_limited_sssp(g, 0, 50, seed=1)
+        from repro.baselines import dag_limited_sssp_reference
+
+        np.testing.assert_array_equal(
+            res.dist, dag_limited_sssp_reference(g, 0, 50))
+
+    def test_limited_n3000(self):
+        from repro.baselines import dijkstra
+        from repro.graph import zero_heavy_digraph
+
+        g = zero_heavy_digraph(3000, 12000, p_zero=0.4, seed=2)
+        res = limited_sssp(g, 0, 20)
+        np.testing.assert_array_equal(res.dist,
+                                      dijkstra(g, 0, limit=20).dist)
+
+    def test_scc_path_pathology(self):
+        """The pre-fix degeneration case: a long path whose ≤0 subgraph is
+        mostly disconnected must not take Θ(n) reachability rounds."""
+        g = bf_hard_graph(4000, 12000, seed=3)
+        from repro.graph import leq_zero_subgraph
+        from repro.runtime import CostAccumulator
+
+        sub, _ = leq_zero_subgraph(g, g.w)
+        acc = CostAccumulator()
+        par = scc(sub, acc)
+        seq = scc_sequential(sub)
+        assert par.n_components == seq.n_components
+        # batched algorithm: work stays within polylog of the edge count
+        assert acc.work < 60 * (sub.m + sub.n) * np.log2(sub.n + 2)
+
+    def test_cycle_detection_n2000(self):
+        g, _ = planted_negative_cycle_graph(2000, 8000, 6, seed=4)
+        res = solve_sssp(g, 0, seed=4)
+        assert res.has_negative_cycle
+        assert validate_negative_cycle(g, res.negative_cycle)
+
+    def test_deeply_scaled_weights(self):
+        g = hidden_potential_graph(400, 1600, potential_spread=1_000_000,
+                                   seed=5)
+        res = solve_sssp(g, 0, seed=5)
+        assert len(res.stats.scales) >= 19  # log2(1e6) ≈ 20
+        np.testing.assert_array_equal(res.dist, bellman_ford(g, 0).dist)
