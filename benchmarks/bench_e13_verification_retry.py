@@ -1,8 +1,9 @@
 """E13 — §4.2: verification catches faulty ASSSP; retries preserve
-correctness."""
+correctness.  Part b sweeps fault rates through the full resilience
+harness (``FaultPlan`` + ``solve_sssp_resilient``)."""
 
 from _bench_utils import save_table
-from repro.analysis import run_verification_retry
+from repro.analysis import run_fault_injection_sweep, run_verification_retry
 
 
 def test_e13_retry_table(benchmark):
@@ -15,3 +16,22 @@ def test_e13_retry_table(benchmark):
     assert rows[-1].values["engine_failures"] >= 1
     # at least one failure-injected row had to retry
     assert max(r.values["retries"] for r in rows[1:]) >= 1
+
+
+def test_e13b_fault_injection_sweep(benchmark):
+    rows = benchmark.pedantic(run_fault_injection_sweep,
+                              kwargs=dict(rates=(0.0, 0.1, 0.3, 1.0)),
+                              rounds=1, iterations=1)
+    save_table(rows, "e13b_fault_injection_sweep",
+               "E13b — fault-rate sweep: retries heal, fallback catches "
+               "the rest, answers stay exact")
+    assert all(r.values["correct"] for r in rows)
+    # a clean run injects nothing and never degrades
+    assert rows[0].values["faults_fired"] == 0
+    assert rows[0].values["fallbacks"] == 0
+    # rate-1.0 faults on every call cannot be healed by retrying — every
+    # graph must degrade to the Bellman-Ford fallback (and still be right)
+    assert rows[-1].values["fallbacks"] == rows[-1].params["graphs"]
+    # fault exposure grows with the rate
+    fired = [r.values["faults_fired"] for r in rows]
+    assert fired == sorted(fired)

@@ -16,17 +16,41 @@ Quick start::
 See README.md, DESIGN.md and EXPERIMENTS.md.
 """
 
-from . import analysis, assp, baselines, core, dag01, graph, limited, reach, runtime
-from .core import SsspResult, solve_sssp
+from . import (
+    analysis,
+    assp,
+    baselines,
+    core,
+    dag01,
+    graph,
+    limited,
+    reach,
+    resilience,
+    runtime,
+)
+from .core import SsspResult, solve_sssp, solve_sssp_resilient
 from .dag01 import Dag01Result, dag01_limited_sssp
 from .graph import DiGraph
 from .limited import LimitedSpResult, limited_sssp
+from .resilience import (
+    BudgetExceededError,
+    BudgetGuard,
+    Certificate,
+    FaultPlan,
+    InputValidationError,
+    NegativeCycleError,
+    ReproError,
+    RetryExhaustedError,
+    RetryPolicy,
+    VerificationError,
+)
 from .runtime import Cost, CostAccumulator, CostModel
 
 __version__ = "1.0.0"
 
 __all__ = [
     "solve_sssp",
+    "solve_sssp_resilient",
     "SsspResult",
     "dag01_limited_sssp",
     "Dag01Result",
@@ -36,6 +60,16 @@ __all__ = [
     "Cost",
     "CostAccumulator",
     "CostModel",
+    "ReproError",
+    "InputValidationError",
+    "VerificationError",
+    "RetryExhaustedError",
+    "BudgetExceededError",
+    "NegativeCycleError",
+    "Certificate",
+    "FaultPlan",
+    "RetryPolicy",
+    "BudgetGuard",
     "analysis",
     "assp",
     "baselines",
@@ -44,6 +78,7 @@ __all__ = [
     "graph",
     "limited",
     "reach",
+    "resilience",
     "runtime",
     "__version__",
 ]

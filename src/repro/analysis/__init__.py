@@ -16,6 +16,7 @@ from .experiments import (
     run_span_parallelism,
     run_sqrt_k_progress,
     run_verification_retry,
+    run_fault_injection_sweep,
     run_cost_breakdown,
     run_family_robustness,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "run_scaling_in_n",
     "run_negative_cycle_detection",
     "run_verification_retry",
+    "run_fault_injection_sweep",
     "run_cost_breakdown",
     "run_family_robustness",
     "generate_report",

@@ -31,6 +31,7 @@ from ..graph.generators import (
 )
 from ..limited.limited import limited_sssp
 from ..runtime.metrics import Cost
+from ..runtime.rng import derive_seed
 
 
 @dataclass
@@ -362,6 +363,53 @@ def run_verification_retry(p_fails=(0.0, 0.05, 0.15, 0.3), rows_cols=(9, 9),
             values={"retries": res.retries,
                     "engine_calls": engine.calls,
                     "engine_failures": engine.failures,
+                    "correct": True}))
+    return rows
+
+
+def run_fault_injection_sweep(rates=(0.0, 0.1, 0.3, 1.0), n=60, m=200,
+                              graphs=8, seed=0) -> list[Row]:
+    """E13b: end-to-end fault-rate sweep through the resilience harness.
+
+    For each fault rate, every one of the four fault sites fires
+    independently with that probability (one deterministic
+    :class:`~repro.resilience.faults.FaultPlan` per graph), and
+    ``solve_sssp_resilient`` must still match the Bellman–Ford oracle —
+    by healing through retries when it can, and by degrading to the
+    fallback when it cannot.  Rows report how often each recovery path
+    was taken and how many faults actually fired.
+    """
+    from ..baselines.johnson import johnson_potential
+    from ..core.sssp import solve_sssp_resilient
+    from ..graph.validate import validate_negative_cycle
+    from ..resilience import FaultPlan, RetryPolicy
+
+    rows = []
+    for rate in rates:
+        fired = retries = fallbacks = cycles = 0
+        for i in range(graphs):
+            g = hidden_potential_graph(n, m, potential_spread=6,
+                                       seed=derive_seed(seed, i))
+            plan = FaultPlan.with_rate(rate, seed=derive_seed(seed, i, 1))
+            res = solve_sssp_resilient(
+                g, 0, seed=derive_seed(seed, i, 2), fault_plan=plan,
+                retry_policy=RetryPolicy(max_attempts=3))
+            if res.has_negative_cycle:
+                assert validate_negative_cycle(g, res.negative_cycle)
+                assert johnson_potential(g).negative_cycle is not None
+                cycles += 1
+            else:
+                np.testing.assert_array_equal(res.dist,
+                                              bellman_ford(g, 0).dist)
+            fired += plan.fired()
+            retries += res.provenance.retries
+            fallbacks += int(res.provenance.used_fallback)
+        rows.append(Row(
+            params={"n": n, "m": m, "graphs": graphs, "fault_rate": rate},
+            values={"faults_fired": fired,
+                    "retries": retries,
+                    "fallbacks": fallbacks,
+                    "cycles": cycles,
                     "correct": True}))
     return rows
 

@@ -4,6 +4,7 @@ from .hopset import HopsetAssp
 from .engines import (
     DeltaSteppingAssp,
     ExactAssp,
+    FaultInjectingAssp,
     FlakyAssp,
     PerturbedAssp,
     get_engine,
@@ -14,6 +15,7 @@ __all__ = [
     "PerturbedAssp",
     "DeltaSteppingAssp",
     "FlakyAssp",
+    "FaultInjectingAssp",
     "HopsetAssp",
     "get_engine",
 ]

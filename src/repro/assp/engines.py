@@ -221,6 +221,36 @@ class FlakyAssp:
         return d
 
 
+@dataclass
+class FaultInjectingAssp:
+    """Resilience hook: routes another engine's output through a
+    :class:`~repro.resilience.faults.FaultPlan` (site ``"assp"``).
+
+    Unlike :class:`FlakyAssp` — whose failures are i.i.d. per call — the
+    plan's schedule is a deterministic function of its seed and call
+    counter, so tests can pin corruption to exactly the k-th engine call
+    and prove the §4.2 verifier catches it, that a retry heals it, and
+    that a persistent plan degrades to the fallback.
+    """
+
+    plan: object = None
+    inner: object = None
+    name: str = field(default="fault-injecting", init=False)
+
+    def __post_init__(self) -> None:
+        if self.inner is None:
+            self.inner = ExactAssp()
+        if self.plan is None:
+            raise ValueError("FaultInjectingAssp requires a FaultPlan")
+
+    def __call__(self, g: DiGraph, source: int, eps: float,
+                 acc: CostAccumulator | None = None,
+                 model: CostModel = DEFAULT_MODEL,
+                 weights: np.ndarray | None = None) -> np.ndarray:
+        d = self.inner(g, source, eps, acc, model, weights)
+        return self.plan.corrupt_assp(d, source)
+
+
 def _hopset_factory(**kwargs):
     from .hopset import HopsetAssp
 
@@ -232,6 +262,7 @@ _ENGINES = {
     "perturbed": PerturbedAssp,
     "delta-stepping": DeltaSteppingAssp,
     "flaky": FlakyAssp,
+    "fault-injecting": FaultInjectingAssp,
     "hopset": _hopset_factory,
 }
 

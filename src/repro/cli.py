@@ -7,6 +7,12 @@ Subcommands
 ``generate``  synthesise a benchmark workload as DIMACS text.
 ``bench``     run one named experiment from the analysis harness.
 
+Exit codes (``solve``)
+----------------------
+0 distances printed; 2 invalid input (bad DIMACS, out-of-range source,
+malformed weights); 3 negative cycle certified; 4 retries/budget
+exhausted with fallback disabled.  Diagnostics go to stderr.
+
 Examples::
 
     python -m repro generate hidden-potential --n 200 --m 800 > g.gr
@@ -33,9 +39,19 @@ from .analysis import (
     run_span_parallelism,
     run_sqrt_k_progress,
 )
-from .core import solve_sssp
+from .core import solve_sssp_resilient
 from .graph import generators
-from .graph.io import dumps_dimacs, read_dimacs
+from .graph.io import DimacsError, dumps_dimacs, read_dimacs
+from .resilience import (
+    BudgetExceededError,
+    InputValidationError,
+    RetryExhaustedError,
+)
+
+EXIT_OK = 0
+EXIT_INVALID_INPUT = 2
+EXIT_NEGATIVE_CYCLE = 3
+EXIT_EXHAUSTED = 4
 
 _GENERATORS = {
     "hidden-potential": lambda a: generators.hidden_potential_graph(
@@ -81,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--seed", type=int, default=0)
     ps.add_argument("--costs", action="store_true",
                     help="also print model work/span")
+    ps.add_argument("--max-retries", type=int, default=2,
+                    help="verification-failure retries before giving up "
+                         "(default 2)")
+    ps.add_argument("--fallback", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="degrade to Bellman-Ford when retries are "
+                         "exhausted (--no-fallback exits 4 instead)")
+    ps.add_argument("--max-work", type=float, default=None,
+                    help="abort (or fall back) past this model-work budget")
 
     pg = sub.add_parser("generate", help="emit a workload as DIMACS")
     pg.add_argument("family", choices=sorted(_GENERATORS))
@@ -102,22 +127,46 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_solve(args) -> int:
-    g = read_dimacs(sys.stdin if args.graph == "-" else args.graph)
+    try:
+        g = read_dimacs(sys.stdin if args.graph == "-" else args.graph)
+    except (DimacsError, InputValidationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
     source = args.source - 1
     if not (0 <= source < g.n):
         print(f"error: source {args.source} out of range 1..{g.n}",
               file=sys.stderr)
-        return 2
-    res = solve_sssp(g, source, mode=args.mode, seed=args.seed)
+        return EXIT_INVALID_INPUT
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    try:
+        res = solve_sssp_resilient(
+            g, source, mode=args.mode, seed=args.seed,
+            max_retries=args.max_retries, max_work=args.max_work,
+            fallback=args.fallback)
+    except InputValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    except (RetryExhaustedError, BudgetExceededError) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_EXHAUSTED
+    prov = res.provenance
+    if prov is not None and prov.used_fallback:
+        print(f"c degraded to {prov.engine} ({prov.fallback_reason})",
+              file=sys.stderr)
+    elif prov is not None and prov.retries:
+        print(f"c verified after {prov.retries} retr"
+              f"{'y' if prov.retries == 1 else 'ies'}", file=sys.stderr)
     if res.has_negative_cycle:
         cyc = " ".join(str(v + 1) for v in res.negative_cycle)
         print(f"negative cycle: {cyc}")
-        rc = 1
+        rc = EXIT_NEGATIVE_CYCLE
     else:
         for v, d in enumerate(res.dist):
             text = "inf" if np.isinf(d) else str(int(d))
             print(f"d {v + 1} {text}")
-        rc = 0
+        rc = EXIT_OK
     if args.costs:
         print(f"c work {res.cost.work:.0f} span_model "
               f"{res.cost.span_model:.0f} parallelism "

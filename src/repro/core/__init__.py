@@ -19,10 +19,11 @@ from .price import (
     negative_vertices,
 )
 from .scaling import ScalingResult, ScalingStats, scaled_reweighting
-from .sssp import SsspResult, solve_sssp
+from .sssp import SsspResult, solve_sssp, solve_sssp_resilient
 
 __all__ = [
     "solve_sssp",
+    "solve_sssp_resilient",
     "SsspResult",
     "scaled_reweighting",
     "ScalingResult",

@@ -14,11 +14,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.digraph import DiGraph
+from ..resilience.errors import (
+    InputValidationError,
+    RetryExhaustedError,
+    VerificationError,
+)
+from ..resilience.guard import Meter
+from ..resilience.retry import AttemptRecord, RetryPolicy
 from ..runtime.metrics import Cost, CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
 from ..runtime.rng import derive_seed
 from .improvement import sqrt_k_improvement
-from .price import count_negative_vertices
+from .price import count_negative_vertices, is_valid_improvement
 
 
 @dataclass
@@ -53,29 +60,60 @@ def one_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
                     eps: float = 0.2, seed=0,
                     acc: CostAccumulator | None = None,
                     model: CostModel = DEFAULT_MODEL,
-                    max_iterations: int | None = None) -> ReweightingResult:
+                    max_iterations: int | None = None,
+                    fault_plan=None,
+                    retry_policy: RetryPolicy | None = None,
+                    guard=None) -> ReweightingResult:
     """Solve the 1-reweighting problem (all weights ≥ −1).
 
     ``max_iterations`` is a safety valve (default ``4·(√n + 2)``, far above
-    the ``O(√K)`` bound); exceeding it raises ``RuntimeError``.
+    the ``O(√K)`` bound); exceeding it raises
+    :class:`~repro.resilience.errors.RetryExhaustedError`.
+
+    Every √k-improvement is a verified randomized stage: its price delta
+    must satisfy the τ-improvement validity/monotonicity properties
+    (``core.price.is_valid_improvement``) before it is applied.  A delta
+    that fails — possible with a faulty nested stage or an injected
+    ``"price"`` fault — is retried with a fresh derived seed under
+    ``retry_policy``; ``guard`` is debited once per iteration.
     """
     w0 = (g.w if weights is None else np.asarray(weights, dtype=np.int64))
     if g.m and w0.min() < -1:
-        raise ValueError("1-reweighting requires weights >= -1")
+        raise InputValidationError("1-reweighting requires weights >= -1")
     if max_iterations is None:
         max_iterations = 4 * (int(np.sqrt(g.n)) + 2)
+    policy = retry_policy or RetryPolicy(max_attempts=3)
     local = CostAccumulator()
+    meter = Meter(guard, local)
     price = np.zeros(g.n, dtype=np.int64)
     stats = ReweightingStats()
+    attempt_log: list[AttemptRecord] = []
     for it in range(max_iterations):
         w_red = w0 + price[g.src] - price[g.dst] if g.m else w0
         local.charge_cost(model.map(g.m))
         k_now = count_negative_vertices(g, w_red)
         if k_now == 0:
             break
-        outcome = sqrt_k_improvement(g, w_red, mode=mode,
+
+        def _attempt(attempt: int, aseed: int,
+                     w_red: np.ndarray = w_red) -> "ImprovementOutcome":
+            out = sqrt_k_improvement(g, w_red, mode=mode,
                                      assp_engine=assp_engine, eps=eps,
-                                     seed=derive_seed(seed, it), acc=local, model=model)
+                                     seed=aseed, acc=local, model=model,
+                                     fault_plan=fault_plan,
+                                     retry_policy=retry_policy, guard=guard)
+            if out.price_delta is not None:
+                local.charge_cost(model.map(g.m))
+                if not is_valid_improvement(g, w_red, out.price_delta):
+                    raise VerificationError(
+                        "price delta violates the τ-improvement properties "
+                        f"(method={out.method!r}, iteration {it})",
+                        stage="sqrt_k_improvement")
+            return out
+
+        outcome = policy.run("sqrt_k_improvement", derive_seed(seed, it),
+                             _attempt, log=attempt_log)
+        meter.tick()
         stats.k_trajectory.append(k_now)
         stats.methods.append(outcome.method)
         stats.improved.append(outcome.improved)
@@ -88,9 +126,10 @@ def one_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
         price = price + outcome.price_delta
         local.charge_cost(model.map(g.n))
     else:
-        raise RuntimeError(
+        raise RetryExhaustedError(
             "1-reweighting exceeded its iteration budget — this indicates "
-            "an improvement that made no progress (please report)")
+            "an improvement that made no progress (please report)",
+            stage="one_reweighting", attempts=attempt_log)
     if acc is not None:
         acc.charge_cost(local.snapshot())
         acc.merge_stages_from(local)

@@ -32,6 +32,8 @@ from ..graph.digraph import DiGraph
 from ..graph.transform import Condensation, condense, leq_zero_subgraph
 from ..limited.limited import limited_sssp
 from ..reach.scc import scc, scc_sequential
+from ..resilience.errors import InputValidationError
+from ..resilience.retry import RetryPolicy
 from ..runtime.metrics import CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
 from . import cycle as cyclemod
@@ -62,20 +64,29 @@ def sqrt_k_improvement(g: DiGraph, w_red: np.ndarray, *,
                        assp_engine=None, eps: float = 0.2,
                        seed=0,
                        acc: CostAccumulator | None = None,
-                       model: CostModel = DEFAULT_MODEL
-                       ) -> ImprovementOutcome:
+                       model: CostModel = DEFAULT_MODEL,
+                       fault_plan=None,
+                       retry_policy: RetryPolicy | None = None,
+                       guard=None) -> ImprovementOutcome:
     """One √k-improvement on reduced weights ``w_red`` (all ≥ −1).
 
     ``mode="parallel"`` uses the paper's subroutines (§3 peeling, §4
     LimitedSP, reachability-based SCC); ``mode="sequential"`` swaps in the
     classic sequential ones (Tarjan, topological relaxation, Dijkstra) —
     that is Goldberg's original algorithm, used as the baseline.
+
+    Resilience hooks: ``fault_plan`` threads into the peeling and
+    LimitedSP stages and can off-by-one the returned price delta (site
+    ``"price"``); the caller (``one_reweighting``) owns the τ-improvement
+    verification that catches it.  ``retry_policy`` governs the nested
+    verified stages; ``guard`` is debited by them.
     """
     if mode not in ("parallel", "sequential"):
-        raise ValueError("mode must be 'parallel' or 'sequential'")
+        raise InputValidationError("mode must be 'parallel' or 'sequential'")
     w_red = np.asarray(w_red, dtype=np.int64)
     if g.m and w_red.min() < -1:
-        raise ValueError("1-reweighting requires reduced weights >= -1")
+        raise InputValidationError(
+            "1-reweighting requires reduced weights >= -1")
     local = acc if acc is not None else CostAccumulator()
 
     # ---- Step 1: SCCs of G≤0; intra-component negative edge => cycle ----
@@ -106,12 +117,19 @@ def sqrt_k_improvement(g: DiGraph, w_red: np.ndarray, *,
     # ---- Step 2: distance-limited DAG SSSP over H = ≤0(cg) + supersource --
     with local.stage("dag01"):
         dist_h, chain = _find_chain_or_levels(cg, L, mode, seed, local,
-                                              model)
+                                              model, fault_plan, retry_policy)
 
     if chain is not None:
-        return _step3_chain(g, w_red, cond, cg, chain, dist_h, k, L, mode,
-                            assp_engine, eps, seed, local, model)
-    return _step3_independent_set(g, cond, cg, negs, dist_h, L, local, model)
+        outcome = _step3_chain(g, w_red, cond, cg, chain, dist_h, k, L, mode,
+                               assp_engine, eps, seed, local, model,
+                               fault_plan, retry_policy, guard)
+    else:
+        outcome = _step3_independent_set(g, cond, cg, negs, dist_h, L, local,
+                                         model)
+    if fault_plan is not None and outcome.price_delta is not None:
+        outcome.price_delta = fault_plan.corrupt_price_delta(
+            g.src, g.dst, w_red, outcome.price_delta)
+    return outcome
 
 
 def _step1_cycle(g: DiGraph, w_red: np.ndarray, comp: np.ndarray,
@@ -123,12 +141,18 @@ def _step1_cycle(g: DiGraph, w_red: np.ndarray, comp: np.ndarray,
 
 
 def _find_chain_or_levels(cg: DiGraph, L: int, mode: str, seed,
-                          acc: CostAccumulator, model: CostModel):
+                          acc: CostAccumulator, model: CostModel,
+                          fault_plan=None,
+                          retry_policy: RetryPolicy | None = None):
     """Step 2: solve the {0,−1} DAG problem with limit L on H.
 
     Returns ``(dist_h, chain)`` where ``dist_h`` covers the cg vertices
     (supersource removed) and ``chain`` is the length-L negative-edge chain
     if some vertex reaches depth −L, else None.
+
+    The peeling draw is a verified randomized stage: a priority-contract
+    violation (only reachable via fault injection or bad user priorities)
+    is healed here by redrawing with a fresh derived seed.
     """
     sub_cg, _ = leq_zero_subgraph(cg)
     s_star = cg.n
@@ -138,8 +162,12 @@ def _find_chain_or_levels(cg: DiGraph, L: int, mode: str, seed,
     h = DiGraph(cg.n + 1, src, dst, w)
 
     if mode == "parallel":
-        res = dag01_limited_sssp(h, s_star, L, seed=seed, acc=acc,
-                                 model=model, validate=False)
+        policy = retry_policy or RetryPolicy(max_attempts=3)
+        res = policy.run(
+            "dag01_peeling", seed,
+            lambda attempt, aseed: dag01_limited_sssp(
+                h, s_star, L, seed=aseed, acc=acc, model=model,
+                validate=False, fault_plan=fault_plan))
         dist_h = res.dist[:cg.n]
         deep = np.flatnonzero(res.dist == -L)
         if len(deep) == 0:
@@ -195,8 +223,9 @@ def _step3_chain(g: DiGraph, w_red: np.ndarray, cond: Condensation,
                  cg: DiGraph, chain: list[tuple[int, int]],
                  dist_h: np.ndarray, k: int, L: int, mode: str,
                  assp_engine, eps: float, seed,
-                 acc: CostAccumulator, model: CostModel
-                 ) -> ImprovementOutcome:
+                 acc: CostAccumulator, model: CostModel,
+                 fault_plan=None, retry_policy: RetryPolicy | None = None,
+                 guard=None) -> ImprovementOutcome:
     """Eliminate the chain via the Ĝ reduction (§6.1 Step 3, App. A.1)."""
     s_hat = cg.n
     w_hat = np.maximum(cg.w, 0)
@@ -214,7 +243,8 @@ def _step3_chain(g: DiGraph, w_red: np.ndarray, cond: Condensation,
             # only rarely, but failure injection can need many attempts
             res = limited_sssp(g_hat, s_hat, L, engine=assp_engine, eps=eps,
                                acc=acc, model=model, validate=False,
-                               max_retries=50)
+                               max_retries=50, retry_policy=retry_policy,
+                               fault_plan=fault_plan, guard=guard)
             d_hat, parent_hat = res.dist, res.parent
         else:
             res = dijkstra(g_hat, s_hat, limit=L, model=model)

@@ -51,16 +51,26 @@ def scaled_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
                        mode: str = "parallel", assp_engine=None,
                        eps: float = 0.2, seed=0,
                        acc: CostAccumulator | None = None,
-                       model: CostModel = DEFAULT_MODEL) -> ScalingResult:
-    """Feasible price function for arbitrary integer weights, or a cycle."""
+                       model: CostModel = DEFAULT_MODEL,
+                       fault_plan=None, retry_policy=None,
+                       guard=None) -> ScalingResult:
+    """Feasible price function for arbitrary integer weights, or a cycle.
+
+    Resilience hooks thread down into every randomized stage; the
+    ``"potential"`` fault site corrupts the *final* returned price, which
+    only the independent feasibility check in ``core.sssp`` can catch —
+    proving that check is load-bearing.
+    """
     w = (g.w if weights is None else np.asarray(weights, dtype=np.int64))
     local = CostAccumulator()
     stats = ScalingStats()
     if g.m == 0 or w.min() >= 0:
+        price = np.zeros(g.n, dtype=np.int64)
+        if fault_plan is not None:
+            price = fault_plan.corrupt_potential(g.src, g.dst, w, price)
         if acc is not None:
             acc.charge_cost(local.snapshot())
-        return ScalingResult(np.zeros(g.n, dtype=np.int64), None, stats,
-                             local.snapshot())
+        return ScalingResult(price, None, stats, local.snapshot())
     n_neg = int(-w.min())
     b = 1
     while b < n_neg:
@@ -76,7 +86,8 @@ def scaled_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
         local.charge_cost(model.map(g.m))
         res = one_reweighting(g, w_eff, mode=mode, assp_engine=assp_engine,
                               eps=eps, seed=derive_seed(seed, scale_idx),
-                              acc=local, model=model)
+                              acc=local, model=model, fault_plan=fault_plan,
+                              retry_policy=retry_policy, guard=guard)
         stats.scales.append(s)
         stats.per_scale.append(res.stats)
         if res.negative_cycle is not None:
@@ -91,6 +102,8 @@ def scaled_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
         price = 2 * price
         s //= 2
         scale_idx += 1
+    if fault_plan is not None:
+        price = fault_plan.corrupt_potential(g.src, g.dst, w, price)
     if acc is not None:
         acc.charge_cost(local.snapshot())
         acc.merge_stages_from(local)

@@ -6,7 +6,13 @@ on the reduced weights, mapping distances back through the prices.  If any
 stage certifies a negative cycle, the cycle (validated vertex list) is
 returned instead of distances.
 
-This is the library's primary public entry point.
+``solve_sssp_resilient`` wraps that in the full self-checking harness
+(DESIGN.md "Robustness & verification"): input validation, certified
+retries with seed escalation when a verifier rejects a randomized stage's
+output, work/span budget guards, and graceful degradation to the
+Bellman–Ford baseline — with full provenance recorded on the result — when
+retries or budget run out.  Both entry points attach an independently
+re-checked :class:`~repro.resilience.errors.Certificate` to every result.
 """
 
 from __future__ import annotations
@@ -15,9 +21,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..baselines.bellman_ford import bellman_ford
 from ..baselines.dijkstra import dijkstra
+from ..baselines.johnson import johnson_potential
 from ..graph.digraph import DiGraph
-from ..graph.validate import is_feasible_price, validate_negative_cycle
+from ..graph.validate import validate_graph
+from ..resilience.errors import (
+    BudgetExceededError,
+    Certificate,
+    InputValidationError,
+    NegativeCycleError,
+    RetryExhaustedError,
+    VerificationError,
+)
+from ..resilience.guard import BudgetGuard
+from ..resilience.retry import AttemptRecord, RetryPolicy, SolveProvenance
 from ..runtime.metrics import Cost, CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
 from .scaling import ScalingStats, scaled_reweighting
@@ -32,6 +50,11 @@ class SsspResult:
       potential that certifies the distances.
     * Negative cycle: ``negative_cycle`` is a vertex list whose closed walk
       has negative weight; ``dist``/``parent``/``price`` are None.
+
+    ``certificate`` is the same witness in checkable form (re-validated
+    independently before the result is returned); ``provenance`` records
+    how a resilient solve got its answer (engine, attempt log, fault
+    summary, fallback reason) and is None for plain ``solve_sssp``.
     """
 
     source: int
@@ -41,6 +64,8 @@ class SsspResult:
     negative_cycle: list[int] | None
     stats: ScalingStats
     cost: Cost
+    certificate: Certificate | None = None
+    provenance: SolveProvenance | None = None
 
     @property
     def has_negative_cycle(self) -> bool:
@@ -51,7 +76,9 @@ def solve_sssp(g: DiGraph, source: int, *,
                mode: str = "parallel", assp_engine=None, eps: float = 0.2,
                seed=0, acc: CostAccumulator | None = None,
                model: CostModel = DEFAULT_MODEL,
-               check_certificates: bool = True) -> SsspResult:
+               check_certificates: bool = True,
+               fault_plan=None, retry_policy: RetryPolicy | None = None,
+               guard: BudgetGuard | None = None) -> SsspResult:
     """Single-source shortest paths with integer (possibly negative) weights.
 
     Parameters
@@ -63,25 +90,36 @@ def solve_sssp(g: DiGraph, source: int, *,
     check_certificates : bool
         Re-validate the feasible price / negative cycle before returning
         (cheap; on by default — the library never hands out an unchecked
-        certificate).
+        certificate).  A rejected certificate raises
+        :class:`~repro.resilience.errors.VerificationError`.
+    fault_plan, retry_policy, guard :
+        Resilience hooks, threaded into every randomized stage; see
+        :mod:`repro.resilience`.  ``solve_sssp_resilient`` owns the
+        outermost retry/fallback loop around this function.
     """
     if not (0 <= source < g.n):
-        raise ValueError("source out of range")
+        raise InputValidationError("source out of range")
     local = CostAccumulator()
     scal = scaled_reweighting(g, mode=mode, assp_engine=assp_engine,
-                              eps=eps, seed=seed, acc=local, model=model)
+                              eps=eps, seed=seed, acc=local, model=model,
+                              fault_plan=fault_plan,
+                              retry_policy=retry_policy, guard=guard)
     if scal.negative_cycle is not None:
-        if check_certificates and not validate_negative_cycle(
-                g, scal.negative_cycle):
-            raise RuntimeError("internal error: invalid cycle certificate")
+        cert = Certificate("negative_cycle", cycle=list(scal.negative_cycle))
+        if check_certificates and not cert.verify(g):
+            raise VerificationError(
+                "internal error: invalid cycle certificate",
+                stage="solve_sssp")
         if acc is not None:
             acc.charge_cost(local.snapshot())
         return SsspResult(source, None, None, None, scal.negative_cycle,
-                          scal.stats, local.snapshot())
+                          scal.stats, local.snapshot(), certificate=cert)
 
     price = scal.price
-    if check_certificates and not is_feasible_price(g, price):
-        raise RuntimeError("internal error: infeasible price function")
+    cert = Certificate("price", price=price)
+    if check_certificates and not cert.verify(g):
+        raise VerificationError(
+            "internal error: infeasible price function", stage="solve_sssp")
     w_red = g.w + price[g.src] - price[g.dst] if g.m else g.w
     local.charge_cost(model.map(g.m))
     with local.stage("final-dijkstra"):
@@ -95,4 +133,135 @@ def solve_sssp(g: DiGraph, source: int, *,
         acc.charge_cost(local.snapshot())
         acc.merge_stages_from(local)
     return SsspResult(source, dist, dj.parent, price, None, scal.stats,
-                      local.snapshot())
+                      local.snapshot(), certificate=cert)
+
+
+def solve_sssp_resilient(g: DiGraph, source: int, *,
+                         mode: str = "parallel", assp_engine=None,
+                         eps: float = 0.2, seed=0,
+                         acc: CostAccumulator | None = None,
+                         model: CostModel = DEFAULT_MODEL,
+                         retry_policy: RetryPolicy | None = None,
+                         max_retries: int | None = None,
+                         fault_plan=None,
+                         max_work: float | None = None,
+                         max_span: float | None = None,
+                         fallback: bool = True,
+                         raise_on_cycle: bool = False) -> SsspResult:
+    """Self-checking SSSP: verify, retry with fresh randomness, degrade.
+
+    The Las Vegas solve is attempted up to ``retry_policy.max_attempts``
+    times (attempt 0 with ``seed`` itself, later attempts with derived
+    seeds); any :class:`~repro.resilience.errors.VerificationError` —
+    including retry exhaustion of a nested stage — triggers the next
+    attempt.  ``max_work``/``max_span`` install a
+    :class:`~repro.resilience.guard.BudgetGuard` over the model's cost
+    accounting.  When attempts or budget run out and ``fallback`` is on,
+    the solve degrades to the deterministic Bellman–Ford baseline and the
+    result's provenance records ``engine="fallback:bellman_ford"`` plus
+    the reason and full attempt history.  With ``fallback`` off, the
+    terminal error propagates.
+
+    Every result — primary or fallback — carries a certificate (feasible
+    price or validated cycle) that is re-checked independently here before
+    being returned.  ``raise_on_cycle`` converts cycle results into
+    :class:`~repro.resilience.errors.NegativeCycleError`.
+    """
+    validate_graph(g, source)
+    if max_retries is not None and retry_policy is None:
+        retry_policy = RetryPolicy(max_attempts=max_retries + 1)
+    policy = retry_policy or RetryPolicy(max_attempts=3)
+    guard = (BudgetGuard(max_work=max_work, max_span=max_span)
+             if (max_work is not None or max_span is not None) else None)
+    attempts: list[AttemptRecord] = []
+    failure: Exception | None = None
+
+    for attempt in range(policy.max_attempts):
+        aseed = policy.attempt_seed(seed, attempt)
+        try:
+            res = solve_sssp(g, source, mode=mode, assp_engine=assp_engine,
+                             eps=eps, seed=aseed, acc=acc, model=model,
+                             check_certificates=True, fault_plan=fault_plan,
+                             retry_policy=policy, guard=guard)
+        except VerificationError as exc:
+            attempts.append(AttemptRecord("solve_sssp", attempt, aseed,
+                                          False,
+                                          f"{type(exc).__name__}: {exc}"))
+            failure = exc
+            continue
+        except BudgetExceededError as exc:
+            attempts.append(AttemptRecord("solve_sssp", attempt, aseed,
+                                          False,
+                                          f"{type(exc).__name__}: {exc}"))
+            failure = exc
+            break  # spent work is not refundable — no further attempts
+        attempts.append(AttemptRecord("solve_sssp", attempt, aseed, True))
+        res.provenance = SolveProvenance(
+            engine=mode, attempts=attempts,
+            faults=fault_plan.summary() if fault_plan is not None else None)
+        return _finish(g, res, raise_on_cycle)
+
+    if not fallback:
+        if isinstance(failure, BudgetExceededError):
+            raise failure
+        raise RetryExhaustedError(
+            f"solve failed verification on all {len(attempts)} attempts "
+            "and fallback is disabled",
+            stage="solve_sssp_resilient", attempts=attempts) from failure
+    reason = (f"{type(failure).__name__}: {failure}"
+              if failure is not None else "retry budget exhausted")
+    res = _bellman_ford_fallback(g, source, model, acc)
+    res.provenance = SolveProvenance(
+        engine="fallback:bellman_ford", attempts=attempts,
+        fallback_reason=reason,
+        faults=fault_plan.summary() if fault_plan is not None else None)
+    return _finish(g, res, raise_on_cycle)
+
+
+def _bellman_ford_fallback(g: DiGraph, source: int, model: CostModel,
+                           acc: CostAccumulator | None) -> SsspResult:
+    """Graceful degradation: deterministic O(nm) Bellman–Ford solve.
+
+    Distances come from source-rooted Bellman–Ford; the price certificate
+    comes from Johnson-style supersource potentials (every vertex finite),
+    so the fallback result is exactly as checkable as the primary one.
+    """
+    local = CostAccumulator()
+    with local.stage("fallback-bellman-ford"):
+        bf = bellman_ford(g, source, model=model)
+        local.charge_cost(bf.cost)
+        if bf.negative_cycle is None:
+            pot = johnson_potential(g)
+            local.charge_cost(pot.cost)
+            cycle = pot.negative_cycle
+            price = pot.price
+        else:
+            cycle, price = bf.negative_cycle, None
+    if acc is not None:
+        acc.charge_cost(local.snapshot())
+        acc.merge_stages_from(local)
+    if cycle is not None:
+        cert = Certificate("negative_cycle", cycle=list(cycle))
+        return SsspResult(source, None, None, None, list(cycle),
+                          ScalingStats(), local.snapshot(), certificate=cert)
+    cert = Certificate("price", price=price)
+    return SsspResult(source, bf.dist, bf.parent, price, None,
+                      ScalingStats(), local.snapshot(), certificate=cert)
+
+
+def _finish(g: DiGraph, res: SsspResult, raise_on_cycle: bool) -> SsspResult:
+    """Final gate: independently re-check the certificate, then return
+    (or raise, for cycles on request).  No unchecked result escapes."""
+    cert = res.certificate
+    if cert is None or not cert.verify(g):
+        raise VerificationError(
+            "result certificate failed its final independent re-check",
+            stage="solve_sssp_resilient")
+    if raise_on_cycle and res.has_negative_cycle:
+        raise NegativeCycleError(
+            f"negative cycle of length {len(res.negative_cycle)} detected",
+            certificate=cert)
+    return res
+
+
+__all__ = ["SsspResult", "solve_sssp", "solve_sssp_resilient"]

@@ -26,6 +26,7 @@ from ..graph.csr import in_edge_slots
 from ..graph.digraph import DiGraph
 from ..graph.validate import is_dag
 from ..reach.multisource import multisource_reachability
+from ..resilience.errors import InputValidationError, VerificationError
 from ..runtime.metrics import Cost, CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
 from ..runtime.pset import SetVector
@@ -83,7 +84,8 @@ def dag01_limited_sssp(g: DiGraph, source: int, limit: int, *,
                        seed=0, acc: CostAccumulator | None = None,
                        model: CostModel = DEFAULT_MODEL,
                        validate: bool = True,
-                       priorities: np.ndarray | None = None) -> Dag01Result:
+                       priorities: np.ndarray | None = None,
+                       fault_plan=None) -> Dag01Result:
     """Solve distance-limited SSSP on a DAG with weights in ``{0, −1}``.
 
     Parameters
@@ -95,16 +97,25 @@ def dag01_limited_sssp(g: DiGraph, source: int, limit: int, *,
         Override the random priorities (ablation A1 uses this).
     validate : bool
         Check DAG-ness and the weight alphabet up front (costs O(n+m)).
+    fault_plan : optional
+        Resilience hook (site ``"priorities"``): perturbs the drawn
+        priorities so tests can prove the contract check below fires.
+
+    The §3.1 priority contract (every priority in ``[1, n]``) is always
+    enforced — whether priorities were drawn, user-supplied, or
+    fault-perturbed — and a violation raises
+    :class:`~repro.resilience.errors.VerificationError`, which the
+    improvement layer heals by redrawing with a fresh seed.
     """
     if not (0 <= source < g.n):
-        raise ValueError("source out of range")
+        raise InputValidationError("source out of range")
     if limit < 0:
-        raise ValueError("limit must be nonnegative")
+        raise InputValidationError("limit must be nonnegative")
     if validate:
         if g.m and not np.isin(g.w, (0, -1)).all():
-            raise ValueError("weights must be in {0, -1}")
+            raise InputValidationError("weights must be in {0, -1}")
         if not is_dag(g):
-            raise ValueError("graph must be acyclic")
+            raise InputValidationError("graph must be acyclic")
 
     local = CostAccumulator()
     # §3 assumes every vertex is reachable from s; restrict to the reachable
@@ -130,7 +141,14 @@ def dag01_limited_sssp(g: DiGraph, source: int, limit: int, *,
     else:
         pri = np.asarray(priorities, dtype=np.int64)[ids]
         if len(pri) != sub.n:
-            raise ValueError("priorities must cover every vertex")
+            raise InputValidationError("priorities must cover every vertex")
+    if fault_plan is not None:
+        pri = fault_plan.perturb_priorities(pri)
+    if sub.n and (pri.min() < 1 or pri.max() > sub.n):
+        raise VerificationError(
+            "peeling priorities violate the §3.1 contract "
+            f"(range [{int(pri.min())}, {int(pri.max())}], need [1, {sub.n}])",
+            stage="dag01_peeling")
     local.charge_cost(model.map(sub.n))
 
     st = _State(

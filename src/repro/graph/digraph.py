@@ -14,6 +14,42 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..resilience.errors import InputValidationError
+
+# Weights are kept float64-exact and far from int64 overflow: bit scaling
+# doubles prices every scale and reduced weights add two price terms, so a
+# per-weight magnitude cap of 2^53 keeps every derived quantity safe for
+# any graph the whole-instance check in ``validate.check_overflow_safety``
+# accepts.
+MAX_ABS_WEIGHT = 2 ** 53
+
+
+def _as_int64(a, name: str, *, max_abs: int | None = None) -> np.ndarray:
+    """Validating cast to int64: rejects NaN/inf, fractional floats, and
+    (optionally) magnitudes with int64-overflow risk downstream."""
+    arr = np.asarray(a)
+    if arr.dtype == np.int64:
+        out = arr
+    elif arr.dtype.kind in "iub":
+        out = arr.astype(np.int64)
+    elif arr.dtype.kind == "f":
+        if arr.size and not np.isfinite(arr).all():
+            raise InputValidationError(
+                f"{name} must be finite (found NaN or inf)")
+        if arr.size and (arr != np.floor(arr)).any():
+            raise InputValidationError(
+                f"{name} must be integral (found fractional values)")
+        out = arr.astype(np.int64)
+    else:
+        raise InputValidationError(
+            f"{name} must be an integer array, got dtype {arr.dtype}")
+    if max_abs is not None and out.size and \
+            int(np.abs(out).max()) > max_abs:
+        raise InputValidationError(
+            f"{name} magnitude exceeds {max_abs} — int64 overflow risk in "
+            "scaled/reduced weights")
+    return out
+
 
 class DiGraph:
     """An immutable weighted directed graph in CSR form.
@@ -40,15 +76,15 @@ class DiGraph:
     def __init__(self, n: int, src: np.ndarray, dst: np.ndarray,
                  w: np.ndarray) -> None:
         if n < 0:
-            raise ValueError("vertex count must be nonnegative")
-        src = np.asarray(src, dtype=np.int64)
-        dst = np.asarray(dst, dtype=np.int64)
-        w = np.asarray(w, dtype=np.int64)
+            raise InputValidationError("vertex count must be nonnegative")
+        src = _as_int64(src, "edge sources")
+        dst = _as_int64(dst, "edge destinations")
+        w = _as_int64(w, "edge weights", max_abs=MAX_ABS_WEIGHT)
         if not (len(src) == len(dst) == len(w)):
-            raise ValueError("edge arrays must have equal length")
+            raise InputValidationError("edge arrays must have equal length")
         if len(src) and (src.min() < 0 or src.max() >= n
                          or dst.min() < 0 or dst.max() >= n):
-            raise ValueError("edge endpoint out of range")
+            raise InputValidationError("edge endpoint out of range")
         order = np.lexsort((dst, src))
         self.n = int(n)
         self.m = int(len(src))
@@ -76,16 +112,17 @@ class DiGraph:
         if not es:
             z = np.empty(0, dtype=np.int64)
             return cls(n, z, z, z)
-        arr = np.asarray(es, dtype=np.int64)
+        arr = np.asarray(es)
         if arr.ndim != 2 or arr.shape[1] != 3:
-            raise ValueError("edges must be (u, v, w) triples")
+            raise InputValidationError("edges must be (u, v, w) triples")
         return cls(n, arr[:, 0], arr[:, 1], arr[:, 2])
 
     def with_weights(self, w: np.ndarray) -> "DiGraph":
         """Same topology, new weights (aligned with edge ids)."""
-        w = np.asarray(w, dtype=np.int64)
+        w = _as_int64(w, "edge weights", max_abs=MAX_ABS_WEIGHT)
         if len(w) != self.m:
-            raise ValueError("weight array length must equal edge count")
+            raise InputValidationError(
+                "weight array length must equal edge count")
         g = object.__new__(DiGraph)
         g.n, g.m = self.n, self.m
         g.src, g.dst, g.w = self.src, self.dst, w
@@ -153,7 +190,7 @@ class DiGraph:
         """
         nodes = np.unique(np.asarray(nodes, dtype=np.int64))
         if len(nodes) and (nodes[0] < 0 or nodes[-1] >= self.n):
-            raise ValueError("node out of range")
+            raise InputValidationError("node out of range")
         in_sub = np.zeros(self.n, dtype=bool)
         in_sub[nodes] = True
         # gather all out-edges of member vertices, keep those staying inside

@@ -11,8 +11,48 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..resilience.errors import InputValidationError
 from .csr import ranges_concat as _ranges_concat
 from .digraph import DiGraph
+
+# Bit scaling keeps |price| ≤ 2·n·max|w| and reduced weights add two price
+# terms to a weight, so this product bound keeps every int64 intermediate
+# at least two orders of magnitude away from overflow.
+_SCALED_PRODUCT_LIMIT = 2 ** 60
+
+
+def check_overflow_safety(g: DiGraph,
+                          weights: np.ndarray | None = None) -> None:
+    """Raise :class:`InputValidationError` if scaled/reduced-weight
+    arithmetic on this instance could overflow int64.
+
+    The per-weight cap in the :class:`DiGraph` constructor bounds single
+    values; this whole-instance check bounds the *products* the scaling
+    loop actually forms (prices grow like ``n · max|w|`` across scales).
+    """
+    w = g.w if weights is None else np.asarray(weights, dtype=np.int64)
+    if len(w) == 0:
+        return
+    max_abs = int(np.abs(w).max())
+    if max_abs and max(g.n, 1) > _SCALED_PRODUCT_LIMIT // (4 * max_abs):
+        raise InputValidationError(
+            f"n·max|w| = {g.n}·{max_abs} risks int64 overflow in "
+            "scaled/reduced weights; rescale the instance")
+
+
+def validate_graph(g: DiGraph, source: int | None = None,
+                   weights: np.ndarray | None = None) -> None:
+    """Full input validation for the public solver entry points.
+
+    The :class:`DiGraph` constructor already guarantees well-formed CSR
+    arrays and finite integral weights; this adds the solver-level
+    contract: in-range source and overflow-safe magnitudes.  Raises
+    :class:`InputValidationError` (a ``ValueError``) on violation.
+    """
+    if source is not None and not (0 <= source < g.n):
+        raise InputValidationError(
+            f"source {source} out of range [0, {g.n})")
+    check_overflow_safety(g, weights)
 
 
 def is_feasible_price(g: DiGraph, price: np.ndarray,
@@ -21,7 +61,8 @@ def is_feasible_price(g: DiGraph, price: np.ndarray,
     w = g.w if weights is None else np.asarray(weights, dtype=np.int64)
     price = np.asarray(price, dtype=np.int64)
     if len(price) != g.n:
-        raise ValueError("price function must have one entry per vertex")
+        raise InputValidationError(
+            "price function must have one entry per vertex")
     if g.m == 0:
         return True
     reduced = w + price[g.src] - price[g.dst]
@@ -46,14 +87,14 @@ def cycle_weight(g: DiGraph, cycle: list[int] | np.ndarray,
     """
     cyc = [int(v) for v in cycle]
     if len(cyc) == 0:
-        raise ValueError("empty cycle")
+        raise InputValidationError("empty cycle")
     w = g.w if weights is None else np.asarray(weights, dtype=np.int64)
     total = 0
     for i, u in enumerate(cyc):
         v = cyc[(i + 1) % len(cyc)]
         eids = g.edge_ids_between(u, v)
         if len(eids) == 0:
-            raise ValueError(f"cycle hop {u}->{v} is not an edge")
+            raise InputValidationError(f"cycle hop {u}->{v} is not an edge")
         total += int(w[eids].min())
     return total
 

@@ -29,9 +29,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..assp.engines import ExactAssp
+from ..assp.engines import ExactAssp, FaultInjectingAssp
 from ..graph.csr import in_edge_slots
 from ..graph.digraph import DiGraph
+from ..resilience.errors import InputValidationError, RetryExhaustedError
+from ..resilience.errors import VerificationError  # noqa: F401 (re-export)
+from ..resilience.guard import Meter
+from ..resilience.retry import AttemptRecord, RetryPolicy
 from ..runtime.metrics import Cost, CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL, lg
 from .intervals import IntervalTable, smallest_power_of_two_above
@@ -58,40 +62,51 @@ class LimitedSpResult:
     cost: Cost
 
 
-class VerificationError(RuntimeError):
-    """LimitedSP could not produce a verified answer within the retry
-    budget (only possible with a persistently faulty ASSSP engine)."""
-
-
 def limited_sssp(g: DiGraph, source: int, limit: int, *,
                  engine=None, eps: float = 0.2,
                  acc: CostAccumulator | None = None,
                  model: CostModel = DEFAULT_MODEL,
                  max_retries: int = 5,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_plan=None, guard=None,
                  validate: bool = True) -> LimitedSpResult:
     """Exact distances to all vertices within ``limit`` of ``source``.
 
     ``engine`` is any ASSSP callable (default: exact); ``eps`` must be
     < 1/4 for the refinement case analysis (Lemma 11).
+
+    Resilience hooks: ``retry_policy`` overrides ``max_retries``;
+    ``fault_plan`` (site ``"assp"``) corrupts engine answers so tests can
+    prove the Lemma-10 verifier fires; ``guard`` is debited once per
+    verified attempt.  Exhausting the retry budget raises
+    :class:`~repro.resilience.errors.RetryExhaustedError` (a
+    ``VerificationError``) carrying the attempt log.
     """
     if not (0 <= source < g.n):
-        raise ValueError("source out of range")
+        raise InputValidationError("source out of range")
     if limit < 0:
-        raise ValueError("limit must be nonnegative")
+        raise InputValidationError("limit must be nonnegative")
     if not (0 < eps < 0.25):
-        raise ValueError("eps must be in (0, 1/4)")
+        raise InputValidationError("eps must be in (0, 1/4)")
     if validate and g.m and g.w.min() < 0:
-        raise ValueError("weights must be nonnegative")
+        raise InputValidationError("weights must be nonnegative")
     if engine is None:
         engine = ExactAssp()
+    if fault_plan is not None:
+        engine = FaultInjectingAssp(plan=fault_plan, inner=engine)
+    policy = retry_policy or RetryPolicy(max_attempts=max_retries + 1)
 
     local = CostAccumulator()
-    last = None
-    for attempt in range(max_retries + 1):
+    meter = Meter(guard, local)
+    attempts: list[AttemptRecord] = []
+    for attempt in range(policy.max_attempts):
         dist, table, calls, node_total = _limited_pass(
             g, source, limit, engine, eps, local, model)
         ok = verify_limited_distances(g, source, dist, limit,
                                       acc=local, model=model)
+        meter.tick()
+        attempts.append(AttemptRecord("limited_sssp", attempt, 0, bool(ok),
+                                      None if ok else "Lemma-10 check failed"))
         if ok:
             parent = shortest_path_tree(g, source, dist,
                                         acc=local, model=model)
@@ -102,12 +117,12 @@ def limited_sssp(g: DiGraph, source: int, limit: int, *,
                 refine_calls=calls, refine_node_total=node_total,
                 interval_additions=table.additions, retries=attempt,
                 verified=True, cost=local.snapshot())
-        last = (dist, table, calls, node_total)
     if acc is not None:
         acc.charge_cost(local.snapshot())
-    raise VerificationError(
-        f"limited_sssp failed verification {max_retries + 1} times "
-        f"(engine={getattr(engine, 'name', engine)!r})")
+    raise RetryExhaustedError(
+        f"limited_sssp failed verification {policy.max_attempts} times "
+        f"(engine={getattr(engine, 'name', engine)!r})",
+        stage="limited_sssp", attempts=attempts)
 
 
 def _limited_pass(g: DiGraph, source: int, limit: int, engine, eps: float,

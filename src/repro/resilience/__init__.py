@@ -1,0 +1,47 @@
+"""Resilience subsystem: the library as a self-checking solver.
+
+Four pieces (DESIGN.md "Robustness & verification"):
+
+* :mod:`~repro.resilience.errors` — structured exception taxonomy plus the
+  :class:`Certificate` attached to every public result;
+* :mod:`~repro.resilience.faults` — a deterministic fault-injection plane
+  (:class:`FaultPlan`) threaded through the solver's hook points so tests
+  can prove each verifier catches its fault class;
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy`, the certified
+  retry loop with seed escalation and per-attempt telemetry;
+* :mod:`~repro.resilience.guard` — :class:`BudgetGuard` work/span ceilings
+  feeding the graceful Bellman–Ford degradation in
+  :func:`repro.core.sssp.solve_sssp_resilient`.
+"""
+
+from .errors import (
+    BudgetExceededError,
+    Certificate,
+    InputValidationError,
+    NegativeCycleError,
+    ReproError,
+    RetryExhaustedError,
+    VerificationError,
+)
+from .faults import SITES as FAULT_SITES, FaultEvent, FaultPlan, FaultSpec
+from .guard import BudgetGuard, Meter
+from .retry import AttemptRecord, RetryPolicy, SolveProvenance
+
+__all__ = [
+    "ReproError",
+    "InputValidationError",
+    "VerificationError",
+    "RetryExhaustedError",
+    "BudgetExceededError",
+    "NegativeCycleError",
+    "Certificate",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultEvent",
+    "FAULT_SITES",
+    "RetryPolicy",
+    "AttemptRecord",
+    "SolveProvenance",
+    "BudgetGuard",
+    "Meter",
+]

@@ -1,0 +1,129 @@
+"""Structured exception taxonomy for the self-checking solver.
+
+The paper's pipeline is Las Vegas at two levels: §3 peeling draws random
+priorities and §4 LimitedSP trusts an ASSSP black box that is only correct
+w.h.p., so verification failures are *expected events* with well-defined
+recovery (retry with fresh randomness, ultimately a deterministic
+fallback).  This module gives every failure mode a dedicated type so
+callers — and the CLI — can tell "your input is bad" from "the randomized
+stage got unlucky" from "the instance genuinely has a negative cycle".
+
+Design constraints:
+
+* ``InputValidationError`` subclasses ``ValueError`` and the verification
+  family subclasses ``RuntimeError`` so pre-taxonomy callers (and tests)
+  that catch the builtin types keep working unchanged.
+* This module must stay import-light (stdlib only at import time):
+  ``graph.digraph`` imports it, so importing graph code here would cycle.
+  :meth:`Certificate.verify` lazily imports the independent validators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+class ReproError(Exception):
+    """Base class of every structured error raised by this library."""
+
+
+class InputValidationError(ReproError, ValueError):
+    """The caller handed us an invalid instance (NaN/float weights,
+    out-of-range endpoints or source, overflow-prone magnitudes, …).
+
+    Retrying cannot help; the input itself must change.
+    """
+
+
+class VerificationError(ReproError, RuntimeError):
+    """A certified stage produced output its independent verifier rejected.
+
+    This is the recoverable "bad luck" class: the §4.2 Lemma-10 check, the
+    peeling priority contract, the τ-improvement properties and the final
+    price-feasibility check all raise it.  Callers retry with fresh
+    randomness (see :mod:`repro.resilience.retry`).
+    """
+
+    def __init__(self, message: str, *, stage: str | None = None,
+                 detail: Any = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.detail = detail
+
+
+class RetryExhaustedError(VerificationError):
+    """Every attempt a :class:`~repro.resilience.retry.RetryPolicy` allowed
+    failed verification.  Carries the full attempt log for diagnostics and
+    provenance recording."""
+
+    def __init__(self, message: str, *, stage: str | None = None,
+                 attempts: Sequence[Any] = ()) -> None:
+        super().__init__(message, stage=stage)
+        self.attempts = list(attempts)
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """A work/span budget guard tripped mid-solve.
+
+    Deliberately *not* a :class:`VerificationError`: retrying with a fresh
+    seed does not refund spent work, so retry loops must let this
+    propagate to the graceful-degradation layer.
+    """
+
+    def __init__(self, message: str, *, spent_work: float = 0.0,
+                 spent_span: float = 0.0, max_work: float | None = None,
+                 max_span: float | None = None) -> None:
+        super().__init__(message)
+        self.spent_work = spent_work
+        self.spent_span = spent_span
+        self.max_work = max_work
+        self.max_span = max_span
+
+
+class NegativeCycleError(ReproError):
+    """The instance contains a negative cycle (with certificate attached).
+
+    Raised only on request (``solve_sssp_resilient(..., raise_on_cycle=
+    True)``); the default API reports cycles as results, not errors.
+    """
+
+    def __init__(self, message: str, certificate: "Certificate") -> None:
+        super().__init__(message)
+        self.certificate = certificate
+
+    @property
+    def cycle(self) -> list[int]:
+        return list(self.certificate.cycle or [])
+
+
+@dataclass
+class Certificate:
+    """A checkable witness attached to every public solver result.
+
+    ``kind == "price"``: ``price`` is a potential claimed feasible —
+    certifying both the distances and the absence of negative cycles.
+    ``kind == "negative_cycle"``: ``cycle`` is a vertex list whose closed
+    walk is claimed to have negative total weight.
+    """
+
+    kind: str                      # "price" | "negative_cycle"
+    price: Any = None              # np.ndarray when kind == "price"
+    cycle: list[int] | None = None
+    checked: bool = field(default=False)
+
+    def verify(self, g) -> bool:
+        """Re-check this certificate against ``g`` with the independent
+        validators (never the algorithm that produced it)."""
+        from ..graph.validate import is_feasible_price, validate_negative_cycle
+
+        if self.kind == "price":
+            ok = self.price is not None and is_feasible_price(g, self.price)
+        elif self.kind == "negative_cycle":
+            ok = self.cycle is not None and validate_negative_cycle(
+                g, self.cycle)
+        else:
+            raise InputValidationError(
+                f"unknown certificate kind {self.kind!r}")
+        self.checked = bool(ok)
+        return self.checked

@@ -1,0 +1,198 @@
+"""Deterministic fault-injection plane.
+
+A :class:`FaultPlan` is threaded (optionally) through the solver's hook
+points so tests can *prove* that every verifier catches the fault class it
+owns, that retries heal transient faults, and that persistent faults
+degrade to the deterministic fallback:
+
+========== ============================== ================================
+site       hook point                     verifier that must catch it
+========== ============================== ================================
+assp       ``assp.engines`` (engine wrap  §4.2 Lemma-10 check in
+           inside ``limited.limited``)    ``limited.verify``
+priorities ``dag01.peeling`` after the    priority-contract check in
+           §3.1 geometric draw            ``dag01_limited_sssp``
+price      ``core.improvement`` on the    τ-improvement properties
+           returned price delta           (``core.price``) in
+                                          ``core.goldberg``
+potential  ``core.scaling`` on the final  ``is_feasible_price`` in
+           potential                      ``core.sssp``
+========== ============================== ================================
+
+Every decision a plan makes is a pure function of its seed and its
+per-site call counters, so a fixed seed reproduces the exact same fault
+schedule — retries advance the counters, which is what lets "fault on the
+k-th call" heal under retry.  All corruptions preserve type/shape
+invariants (they never crash the host stage); *detection* is the
+verifiers' job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..runtime.rng import make_rng
+
+SITES = ("assp", "priorities", "price", "potential")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """When the fault at ``site`` fires.
+
+    ``calls`` — 1-based call indices that fire (``None`` = every call);
+    ``rate`` — firing probability on a matching call, drawn from the
+    plan's own seeded rng (so still deterministic).
+    """
+
+    site: str
+    calls: tuple[int, ...] | None = None
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; "
+                             f"choose from {SITES}")
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError("rate must be in [0, 1]")
+
+
+@dataclass
+class FaultEvent:
+    """One fired fault, recorded for provenance."""
+
+    site: str
+    call: int
+    detail: str
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    Hook usage is one line per site, e.g.::
+
+        pri = plan.perturb_priorities(pri)   # no-op unless it fires
+    """
+
+    def __init__(self, specs: "list[FaultSpec] | tuple[FaultSpec, ...]" = (),
+                 seed: int = 0) -> None:
+        self.specs = {s.site: s for s in specs}
+        self.seed = int(seed)
+        self._rng = make_rng(seed)
+        self.calls = {site: 0 for site in SITES}
+        self.events: list[FaultEvent] = []
+
+    # -- construction shorthands ---------------------------------------
+    @classmethod
+    def always(cls, *sites: str, seed: int = 0) -> "FaultPlan":
+        """Fire on every call of each named site (persistent fault)."""
+        return cls([FaultSpec(s) for s in (sites or SITES)], seed=seed)
+
+    @classmethod
+    def on_calls(cls, site: str, *calls: int, seed: int = 0) -> "FaultPlan":
+        """Fire only on the given 1-based call indices of ``site``."""
+        return cls([FaultSpec(site, calls=tuple(int(c) for c in calls))],
+                   seed=seed)
+
+    @classmethod
+    def with_rate(cls, rate: float, sites: "tuple[str, ...]" = SITES,
+                  seed: int = 0) -> "FaultPlan":
+        """Fire each matching call independently with probability ``rate``."""
+        return cls([FaultSpec(s, rate=rate) for s in sites], seed=seed)
+
+    # -- bookkeeping ----------------------------------------------------
+    def reset(self) -> None:
+        """Restart counters, rng and event log (fresh schedule)."""
+        self._rng = make_rng(self.seed)
+        self.calls = {site: 0 for site in SITES}
+        self.events = []
+
+    def fired(self, site: str | None = None) -> int:
+        if site is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.site == site)
+
+    def summary(self) -> dict:
+        return {"calls": dict(self.calls),
+                "fired": {s: self.fired(s) for s in SITES}}
+
+    def _fires(self, site: str, detail: str) -> bool:
+        self.calls[site] += 1
+        spec = self.specs.get(site)
+        if spec is None:
+            return False
+        call = self.calls[site]
+        if spec.calls is not None and call not in spec.calls:
+            return False
+        if spec.rate < 1.0 and self._rng.random() >= spec.rate:
+            return False
+        self.events.append(FaultEvent(site, call, detail))
+        return True
+
+    # -- corruption hooks ----------------------------------------------
+    def corrupt_assp(self, dist: np.ndarray, source: int) -> np.ndarray:
+        """Inflate a random subset of finite ASSSP estimates far past any
+        ``(1+ε)`` bound (and past the initial ``2D`` bucketing window), so
+        downstream interval assignment and finalisation go wrong.  Never
+        touches the source and never *under*-estimates, mirroring the only
+        failure the Cao et al. contract allows."""
+        if not self._fires("assp", "inflated distance estimates"):
+            return dist
+        d = np.asarray(dist, dtype=np.float64).copy()
+        finite = np.isfinite(d)
+        finite[source] = False
+        if not finite.any():
+            return d
+        victims = finite & (self._rng.random(len(d)) < 0.5)
+        if not victims.any():       # guarantee at least one victim
+            victims[np.flatnonzero(finite)[0]] = True
+        bump = float(d[finite].max()) * 8.0 + 64.0
+        d[victims] = np.ceil(d[victims] * 2.0 + bump)
+        return d
+
+    def perturb_priorities(self, pri: np.ndarray) -> np.ndarray:
+        """Push a random vertex's peeling priority out of the §3.1 contract
+        (priorities must be ≥ 1), which the peeling front-end rejects."""
+        if not self._fires("priorities", "priority forced to 0"):
+            return pri
+        out = np.asarray(pri, dtype=np.int64).copy()
+        if len(out) == 0:
+            return out
+        victim = int(self._rng.integers(len(out)))
+        out[victim] = 0
+        return out
+
+    def corrupt_price_delta(self, src: np.ndarray, dst: np.ndarray,
+                            w_red: np.ndarray,
+                            delta: np.ndarray) -> np.ndarray:
+        """Off-by-one a price update so some reduced weight drops below −1,
+        violating τ-improvement validity (property 1 in ``core.price``)."""
+        if not self._fires("price", "price delta off by one"):
+            return delta
+        out = np.asarray(delta, dtype=np.int64).copy()
+        hop = np.flatnonzero(src != dst)
+        if len(hop) == 0:
+            return out
+        # pick the edge whose reduced weight is already smallest — bumping
+        # its head's price by one pushes it to < −1 for sure
+        after = w_red[hop] + out[src[hop]] - out[dst[hop]]
+        e = int(hop[np.argmin(after)])
+        out[dst[e]] += int(after[np.argmin(after)]) + 2
+        return out
+
+    def corrupt_potential(self, src: np.ndarray, dst: np.ndarray,
+                          w: np.ndarray, price: np.ndarray) -> np.ndarray:
+        """Make a claimed-feasible potential infeasible: raise one head
+        price until its incoming reduced weight goes negative."""
+        if not self._fires("potential", "potential made infeasible"):
+            return price
+        out = np.asarray(price, dtype=np.int64).copy()
+        hop = np.flatnonzero(src != dst)
+        if len(hop) == 0:
+            return out
+        reduced = w[hop] + out[src[hop]] - out[dst[hop]]
+        e = int(hop[np.argmin(reduced)])
+        out[dst[e]] += int(reduced[np.argmin(reduced)]) + 1
+        return out

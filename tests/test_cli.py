@@ -46,7 +46,7 @@ class TestSolve:
         p = tmp_path / "g.gr"
         p.write_text(text)
         rc, out, _ = run_cli(capsys, "solve", str(p))
-        assert rc == 1
+        assert rc == 3
         assert out.startswith("negative cycle:")
 
     def test_costs_flag(self, capsys, tmp_path):
@@ -71,6 +71,45 @@ class TestSolve:
         rc, out, _ = run_cli(capsys, "solve", str(p), "--mode", "sequential")
         assert rc == 0
         assert "d 3 -2" in out
+
+    def test_negative_max_retries_exit_code(self, capsys, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("p sp 2 1\na 1 2 3\n")
+        rc, _, err = run_cli(capsys, "solve", str(p), "--max-retries", "-1")
+        assert rc == 2
+        assert "--max-retries" in err
+
+    def test_malformed_dimacs_exit_code(self, capsys, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("p sp 2 1\na 1 99 3\n")
+        rc, _, err = run_cli(capsys, "solve", str(p))
+        assert rc == 2
+        assert "error:" in err
+
+    def test_missing_file_exit_code(self, capsys, tmp_path):
+        rc, _, err = run_cli(capsys, "solve", str(tmp_path / "nope.gr"))
+        assert rc == 2
+        assert "error:" in err
+
+    def test_budget_no_fallback_exit_code(self, capsys, tmp_path):
+        _, text, _ = run_cli(capsys, "generate", "hidden-potential",
+                             "--n", "15", "--m", "50")
+        p = tmp_path / "g.gr"
+        p.write_text(text)
+        rc, _, err = run_cli(capsys, "solve", str(p), "--max-work", "1",
+                             "--no-fallback")
+        assert rc == 4
+        assert "BudgetExceededError" in err
+
+    def test_budget_with_fallback_degrades(self, capsys, tmp_path):
+        _, text, _ = run_cli(capsys, "generate", "hidden-potential",
+                             "--n", "15", "--m", "50")
+        p = tmp_path / "g.gr"
+        p.write_text(text)
+        rc, out, err = run_cli(capsys, "solve", str(p), "--max-work", "1")
+        assert rc == 0
+        assert "degraded to fallback:bellman_ford" in err
+        assert out.startswith("d 1 0")
 
 
 class TestBench:

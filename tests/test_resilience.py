@@ -1,0 +1,361 @@
+"""Resilience suite: fault injection, certified retries, degradation.
+
+Run standalone with ``python -m pytest -m resilience``.
+
+The core of the suite is the fault matrix: for each of the four fault
+sites (``assp``, ``priorities``, ``price``, ``potential``) we prove that
+the fault is (a) *caught* by the verifier that owns it, (b) *healed* by a
+retry with fresh randomness when transient, and (c) *degraded* cleanly to
+the Bellman–Ford fallback when persistent.  Everything is deterministic
+under fixed seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BudgetExceededError,
+    BudgetGuard,
+    Certificate,
+    DiGraph,
+    FaultPlan,
+    InputValidationError,
+    NegativeCycleError,
+    ReproError,
+    RetryExhaustedError,
+    RetryPolicy,
+    VerificationError,
+    solve_sssp,
+    solve_sssp_resilient,
+)
+from repro.baselines.bellman_ford import bellman_ford
+from repro.baselines.johnson import johnson_potential
+from repro.core import one_reweighting
+from repro.dag01 import dag01_limited_sssp
+from repro.graph import generators
+from repro.graph.digraph import MAX_ABS_WEIGHT
+from repro.graph.validate import check_overflow_safety, validate_negative_cycle
+from repro.limited import limited_sssp
+from repro.resilience import FAULT_SITES, FaultSpec, Meter
+from repro.runtime.metrics import CostAccumulator
+from repro.runtime.model import DEFAULT_MODEL
+
+pytestmark = pytest.mark.resilience
+
+SITES = tuple(FAULT_SITES)
+
+
+@pytest.fixture
+def g():
+    """Reference instance that exercises all four fault sites in parallel
+    mode (assp 14 calls, priorities/price 4, potential 1 at seed 0)."""
+    return generators.hidden_potential_graph(14, 40, potential_spread=6,
+                                             seed=0)
+
+
+@pytest.fixture
+def gpos(g):
+    return g.with_weights(np.abs(g.w))
+
+
+# ---------------------------------------------------------------------------
+# error taxonomy
+# ---------------------------------------------------------------------------
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(InputValidationError, ReproError)
+        assert issubclass(VerificationError, ReproError)
+        assert issubclass(RetryExhaustedError, VerificationError)
+        assert issubclass(BudgetExceededError, ReproError)
+        assert issubclass(NegativeCycleError, ReproError)
+
+    def test_backward_compat_with_stdlib_types(self):
+        # existing callers catch ValueError/RuntimeError; keep that working
+        assert issubclass(InputValidationError, ValueError)
+        assert issubclass(VerificationError, RuntimeError)
+
+    def test_budget_error_is_not_a_verification_error(self):
+        # retry loops swallow VerificationError; a blown budget must not be
+        # retried away
+        assert not issubclass(BudgetExceededError, VerificationError)
+
+    def test_retry_exhausted_carries_attempts(self, gpos):
+        with pytest.raises(RetryExhaustedError) as ei:
+            limited_sssp(gpos, 0, 30, fault_plan=FaultPlan.always("assp"),
+                         max_retries=2)
+        exc = ei.value
+        assert exc.stage == "limited_sssp"
+        assert len(exc.attempts) == 3
+        assert not any(a.ok for a in exc.attempts)
+
+    def test_certificate_verify_price(self, g):
+        res = solve_sssp(g, 0)
+        cert = res.certificate
+        assert cert.kind == "price" and cert.checked
+        bad = Certificate("price", price=cert.price + np.arange(g.n) * 100)
+        assert not bad.verify(g)
+
+    def test_certificate_verify_cycle(self):
+        gc = DiGraph.from_edges(3, [(0, 1, 1), (1, 2, -3), (2, 1, 1)])
+        res = solve_sssp(gc, 0)
+        assert res.certificate.kind == "negative_cycle"
+        assert res.certificate.verify(gc)
+        assert not Certificate("negative_cycle", cycle=[0, 1]).verify(gc)
+
+
+# ---------------------------------------------------------------------------
+# satellite 1: hardened DiGraph input validation
+# ---------------------------------------------------------------------------
+
+class TestInputHardening:
+    def test_nan_weight_rejected(self):
+        with pytest.raises(InputValidationError, match="NaN or inf"):
+            DiGraph(2, [0], [1], np.array([float("nan")]))
+
+    def test_inf_weight_rejected(self):
+        with pytest.raises(InputValidationError, match="NaN or inf"):
+            DiGraph(2, [0], [1], np.array([np.inf]))
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(InputValidationError, match="integral"):
+            DiGraph.from_edges(2, [(0, 1, 2.5)])
+
+    def test_integral_float_accepted(self):
+        g = DiGraph.from_edges(2, [(0, 1, 2.0)])
+        assert g.w.dtype == np.int64 and g.w[0] == 2
+
+    def test_overflow_risk_weight_rejected(self):
+        with pytest.raises(InputValidationError, match="overflow"):
+            DiGraph.from_edges(2, [(0, 1, MAX_ABS_WEIGHT + 1)])
+
+    def test_endpoint_out_of_range(self):
+        with pytest.raises(InputValidationError):
+            DiGraph.from_edges(2, [(0, 5, 1)])
+        # still a ValueError for legacy callers
+        with pytest.raises(ValueError):
+            DiGraph.from_edges(2, [(0, 5, 1)])
+
+    def test_whole_instance_overflow_check(self):
+        # per-weight magnitude is legal, but n·max|w| breaks the scaled
+        # arithmetic headroom — only the whole-instance check sees that
+        g = DiGraph.from_edges(40, [(0, 1, MAX_ABS_WEIGHT)])
+        with pytest.raises(InputValidationError, match="overflow"):
+            check_overflow_safety(g)
+
+    def test_resilient_solver_validates_first(self):
+        g = DiGraph.from_edges(3, [(0, 1, 1)])
+        with pytest.raises(InputValidationError):
+            solve_sssp_resilient(g, 7)
+
+
+# ---------------------------------------------------------------------------
+# fault plan determinism
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("bogus")
+
+    def test_on_calls_schedule(self):
+        plan = FaultPlan.on_calls("assp", 2)
+        d = np.array([0.0, 1.0, 2.0])
+        first = plan.corrupt_assp(d, 0)
+        second = plan.corrupt_assp(d, 0)
+        assert np.array_equal(first, d)          # call 1: no fire
+        assert not np.array_equal(second, d)     # call 2: fires
+        assert plan.fired("assp") == 1
+
+    def test_same_seed_same_schedule(self, g):
+        logs = []
+        for _ in range(2):
+            plan = FaultPlan.with_rate(0.4, seed=11)
+            res = solve_sssp_resilient(g, 0, seed=5, fault_plan=plan,
+                                       retry_policy=RetryPolicy(max_attempts=4))
+            logs.append((plan.summary(),
+                         [(e.site, e.call) for e in plan.events],
+                         None if res.dist is None else res.dist.tolist()))
+        assert logs[0] == logs[1]
+
+    def test_reset_restarts_schedule(self):
+        plan = FaultPlan.always("priorities", seed=2)
+        a = plan.perturb_priorities(np.ones(6, dtype=np.int64))
+        plan.reset()
+        b = plan.perturb_priorities(np.ones(6, dtype=np.int64))
+        assert np.array_equal(a, b) and plan.fired("priorities") == 1
+
+
+# ---------------------------------------------------------------------------
+# the fault matrix: caught / healed / degraded, per site
+# ---------------------------------------------------------------------------
+
+class TestFaultCaught:
+    """Leg (a): each fault class trips the verifier that owns it."""
+
+    def test_assp_caught_by_lemma10(self, gpos):
+        with pytest.raises(RetryExhaustedError) as ei:
+            limited_sssp(gpos, 0, 30, fault_plan=FaultPlan.always("assp"),
+                         max_retries=0)
+        assert ei.value.stage == "limited_sssp"
+
+    def test_priorities_caught_by_contract_check(self):
+        dag = generators.random_dag(20, 50, weights=(0, -1), seed=1)
+        with pytest.raises(VerificationError) as ei:
+            dag01_limited_sssp(dag, 0, 10,
+                               fault_plan=FaultPlan.always("priorities"))
+        assert ei.value.stage == "dag01_peeling"
+
+    def test_price_caught_by_improvement_check(self, g):
+        w1 = np.maximum(g.w, -1)
+        with pytest.raises(RetryExhaustedError) as ei:
+            one_reweighting(g, w1, mode="sequential",
+                            fault_plan=FaultPlan.always("price"),
+                            retry_policy=RetryPolicy(max_attempts=2))
+        assert ei.value.stage == "sqrt_k_improvement"
+
+    def test_potential_caught_by_feasibility_check(self, g):
+        with pytest.raises(VerificationError, match="infeasible price"):
+            solve_sssp(g, 0, fault_plan=FaultPlan.always("potential"))
+
+
+class TestFaultHealed:
+    """Leg (b): a transient fault (first call only) heals under retry —
+    the end-to-end answer matches the clean run exactly."""
+
+    @pytest.mark.parametrize("site", SITES)
+    def test_transient_fault_heals(self, g, site):
+        clean = solve_sssp(g, 0)
+        plan = FaultPlan.on_calls(site, 1, seed=3)
+        res = solve_sssp_resilient(g, 0, seed=0, fault_plan=plan)
+        assert plan.fired(site) == 1, "fault never fired — wrong hook?"
+        assert not res.provenance.used_fallback
+        assert np.array_equal(res.dist, clean.dist)
+        assert res.certificate.checked
+
+    def test_potential_heal_is_visible_in_provenance(self, g):
+        # the potential fault is only caught at the very top, so healing it
+        # costs exactly one top-level retry
+        plan = FaultPlan.on_calls("potential", 1, seed=3)
+        res = solve_sssp_resilient(g, 0, seed=0, fault_plan=plan)
+        assert res.provenance.retries == 1
+        assert [a.ok for a in res.provenance.attempts] == [False, True]
+
+    def test_attempt_seeds_escalate_deterministically(self):
+        policy = RetryPolicy(max_attempts=4)
+        assert policy.attempt_seed(123, 0) == 123   # bit-for-bit happy path
+        seeds = [policy.attempt_seed(123, a) for a in range(4)]
+        assert len(set(seeds)) == 4
+        assert seeds == [policy.attempt_seed(123, a) for a in range(4)]
+
+
+class TestFaultDegraded:
+    """Leg (c): a persistent fault exhausts retries and degrades to the
+    Bellman–Ford fallback, whose answer matches the oracle."""
+
+    @pytest.mark.parametrize("site", SITES)
+    def test_persistent_fault_falls_back(self, g, site):
+        bf = bellman_ford(g, 0)
+        plan = FaultPlan.always(site, seed=3)
+        res = solve_sssp_resilient(g, 0, seed=0, fault_plan=plan,
+                                   retry_policy=RetryPolicy(max_attempts=2))
+        assert plan.fired(site) > 0
+        assert res.provenance.engine == "fallback:bellman_ford"
+        assert res.provenance.fallback_reason is not None
+        assert res.provenance.faults["fired"][site] > 0
+        assert np.array_equal(res.dist, bf.dist)
+        assert res.certificate.kind == "price" and res.certificate.checked
+
+    def test_no_fallback_raises(self, g):
+        plan = FaultPlan.always("potential", seed=3)
+        with pytest.raises(RetryExhaustedError):
+            solve_sssp_resilient(g, 0, seed=0, fault_plan=plan,
+                                 retry_policy=RetryPolicy(max_attempts=2),
+                                 fallback=False)
+
+    def test_fallback_detects_cycles_too(self):
+        gc, _ = generators.planted_negative_cycle_graph(12, 40, 3, seed=4)
+        plan = FaultPlan.always(*SITES, seed=3)
+        res = solve_sssp_resilient(gc, 0, fault_plan=plan,
+                                   retry_policy=RetryPolicy(max_attempts=2))
+        assert res.has_negative_cycle
+        assert validate_negative_cycle(gc, res.negative_cycle)
+
+
+# ---------------------------------------------------------------------------
+# budget guards
+# ---------------------------------------------------------------------------
+
+class TestBudget:
+    def test_tiny_budget_falls_back(self, g):
+        res = solve_sssp_resilient(g, 0, max_work=1.0)
+        assert res.provenance.used_fallback
+        assert "BudgetExceededError" in res.provenance.fallback_reason
+        assert np.array_equal(res.dist, bellman_ford(g, 0).dist)
+
+    def test_tiny_budget_no_fallback_raises(self, g):
+        with pytest.raises(BudgetExceededError) as ei:
+            solve_sssp_resilient(g, 0, max_work=1.0, fallback=False)
+        assert ei.value.spent_work > ei.value.max_work == 1.0
+
+    def test_ample_budget_is_invisible(self, g):
+        clean = solve_sssp(g, 0)
+        res = solve_sssp_resilient(g, 0, max_work=1e12)
+        assert not res.provenance.used_fallback
+        assert np.array_equal(res.dist, clean.dist)
+
+    def test_guard_debits_and_meter_deltas(self):
+        guard = BudgetGuard(max_work=100.0)
+        acc = CostAccumulator()
+        meter = Meter(guard, acc)
+        acc.charge_cost(DEFAULT_MODEL.map(30))
+        meter.tick()
+        assert guard.spent_work > 0
+        assert guard.remaining_work() < 100.0
+        acc.charge_cost(DEFAULT_MODEL.map(10 ** 6))
+        with pytest.raises(BudgetExceededError):
+            meter.tick()
+
+    def test_span_budget(self, g):
+        with pytest.raises(BudgetExceededError):
+            solve_sssp_resilient(g, 0, max_span=0.5, fallback=False)
+
+
+# ---------------------------------------------------------------------------
+# negative-cycle surfacing
+# ---------------------------------------------------------------------------
+
+class TestNegativeCycle:
+    def test_raise_on_cycle(self):
+        gc = DiGraph.from_edges(3, [(0, 1, 1), (1, 2, -3), (2, 1, 1)])
+        with pytest.raises(NegativeCycleError) as ei:
+            solve_sssp_resilient(gc, 0, raise_on_cycle=True)
+        assert validate_negative_cycle(gc, ei.value.cycle)
+
+    def test_cycle_result_by_default(self):
+        gc = DiGraph.from_edges(3, [(0, 1, 1), (1, 2, -3), (2, 1, 1)])
+        res = solve_sssp_resilient(gc, 0)
+        assert res.has_negative_cycle and res.certificate.checked
+
+
+# ---------------------------------------------------------------------------
+# satellite 3 sweep: 50 random graphs vs the Bellman–Ford oracle,
+# faults enabled
+# ---------------------------------------------------------------------------
+
+class TestSeedSweep:
+    @pytest.mark.parametrize("i", range(50))
+    def test_resilient_solver_matches_oracle(self, i):
+        g = generators.random_digraph(12, 36, min_w=-5, max_w=9, seed=100 + i)
+        plan = FaultPlan.with_rate(0.3, seed=i)
+        res = solve_sssp_resilient(g, 0, seed=i, fault_plan=plan,
+                                   retry_policy=RetryPolicy(max_attempts=3))
+        # whole-graph oracle: the solver certifies cycles anywhere in the
+        # graph, not just those reachable from the source
+        if johnson_potential(g).negative_cycle is not None:
+            assert res.has_negative_cycle
+            assert validate_negative_cycle(g, res.negative_cycle)
+        else:
+            assert not res.has_negative_cycle
+            assert np.array_equal(res.dist, bellman_ford(g, 0).dist)
+        assert res.certificate.checked
