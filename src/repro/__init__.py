@@ -35,7 +35,12 @@ from .limited import LimitedSpResult, limited_sssp
 from .resilience import (
     BudgetExceededError,
     BudgetGuard,
+    CancelledError,
+    CancelToken,
     Certificate,
+    CheckpointError,
+    Deadline,
+    DeadlineExceededError,
     FaultPlan,
     InputValidationError,
     NegativeCycleError,
@@ -66,6 +71,11 @@ __all__ = [
     "RetryExhaustedError",
     "BudgetExceededError",
     "NegativeCycleError",
+    "CancelledError",
+    "DeadlineExceededError",
+    "CheckpointError",
+    "Deadline",
+    "CancelToken",
     "Certificate",
     "FaultPlan",
     "RetryPolicy",

@@ -10,19 +10,25 @@ Subcommands
 Exit codes (``solve``)
 ----------------------
 0 distances printed; 2 invalid input (bad DIMACS, out-of-range source,
-malformed weights); 3 negative cycle certified; 4 retries/budget
-exhausted with fallback disabled.  Diagnostics go to stderr.
+malformed weights, unusable checkpoint); 3 negative cycle certified;
+4 retries/budget exhausted with fallback disabled; 5 deadline exceeded
+(or solve interrupted) without a fallback answer — rerun with
+``--resume`` to continue from the last checkpoint.  Diagnostics go to
+stderr.
 
 Examples::
 
     python -m repro generate hidden-potential --n 200 --m 800 > g.gr
     python -m repro solve g.gr --source 1
+    python -m repro solve g.gr --deadline 30 --checkpoint ck.bin
+    python -m repro solve g.gr --checkpoint ck.bin --resume
     python -m repro bench e9
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 import numpy as np
@@ -44,6 +50,9 @@ from .graph import generators
 from .graph.io import DimacsError, dumps_dimacs, read_dimacs
 from .resilience import (
     BudgetExceededError,
+    CancelledError,
+    CancelToken,
+    CheckpointError,
     InputValidationError,
     RetryExhaustedError,
 )
@@ -52,6 +61,7 @@ EXIT_OK = 0
 EXIT_INVALID_INPUT = 2
 EXIT_NEGATIVE_CYCLE = 3
 EXIT_EXHAUSTED = 4
+EXIT_DEADLINE = 5
 
 _GENERATORS = {
     "hidden-potential": lambda a: generators.hidden_potential_graph(
@@ -106,6 +116,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "exhausted (--no-fallback exits 4 instead)")
     ps.add_argument("--max-work", type=float, default=None,
                     help="abort (or fall back) past this model-work budget")
+    ps.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                    help="wall-clock budget; expiry falls back to "
+                         "Bellman-Ford (or exits 5 with --no-fallback)")
+    ps.add_argument("--checkpoint", default=None, metavar="PATH",
+                    help="write an atomic checkpoint after every scale "
+                         "level (Ctrl-C then becomes a clean, resumable "
+                         "interruption)")
+    ps.add_argument("--resume", action="store_true",
+                    help="continue from --checkpoint if it exists "
+                         "(bit-identical to the uninterrupted solve)")
 
     pg = sub.add_parser("generate", help="emit a workload as DIMACS")
     pg.add_argument("family", choices=sorted(_GENERATORS))
@@ -140,17 +160,51 @@ def cmd_solve(args) -> int:
     if args.max_retries < 0:
         print("error: --max-retries must be >= 0", file=sys.stderr)
         return EXIT_INVALID_INPUT
+    if args.deadline is not None and args.deadline < 0:
+        print("error: --deadline must be >= 0 seconds", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+
+    # with a checkpoint in play, turn SIGINT/SIGTERM into a *cooperative*
+    # cancellation: the solve stops at the next phase boundary with the
+    # last scale level safely on disk, and exits 5 instead of a traceback
+    token = CancelToken() if args.checkpoint is not None else None
+    previous_handlers = {}
+    if token is not None:
+        def _cancel(signum, frame):
+            token.cancel(f"signal {signal.Signals(signum).name}")
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous_handlers[sig] = signal.signal(sig, _cancel)
+            except (ValueError, OSError):  # non-main thread / platform
+                pass
     try:
         res = solve_sssp_resilient(
             g, source, mode=args.mode, seed=args.seed,
             max_retries=args.max_retries, max_work=args.max_work,
-            fallback=args.fallback)
+            fallback=args.fallback, deadline=args.deadline, token=token,
+            checkpoint_path=args.checkpoint, resume=args.resume)
     except InputValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_INVALID_INPUT
+    except CheckpointError as exc:
+        print(f"error: unusable checkpoint ({exc.reason}): {exc}",
+              file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    except CancelledError as exc:  # includes DeadlineExceededError
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        if args.checkpoint is not None:
+            print(f"c resume with: --checkpoint {args.checkpoint} --resume",
+                  file=sys.stderr)
+        return EXIT_DEADLINE
     except (RetryExhaustedError, BudgetExceededError) as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return EXIT_EXHAUSTED
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
     prov = res.provenance
     if prov is not None and prov.used_fallback:
         print(f"c degraded to {prov.engine} ({prov.fallback_reason})",

@@ -8,15 +8,37 @@ inequality ``⌈w/(s/2)⌉ ≥ 2·⌈w/s⌉ − 1`` keeps every scale a valid
 1-reweighting instance.  Ceilings only round *up*, so a negative cycle
 found at any scale certifies one in the original weights; conversely the
 final scale uses the exact weights, so no cycle escapes.
+
+The loop is *preemptible*: each completed scale is a verified unit of
+durable progress, so with ``checkpoint_path`` set the accumulated price,
+scale index (with the top-level seed this is the whole RNG state), model
+cost, and telemetry are serialized atomically after every scale
+(:mod:`repro.resilience.checkpoint`), and a cooperative ``token``
+(:mod:`repro.resilience.preempt`) is honoured at every scale boundary —
+plus, via the ambient cancel scope, inside the runtime primitives and
+``parallel_for`` grain loops underneath.  ``resume=True`` loads the
+checkpoint, re-validates its potential with the PR-1
+:class:`~repro.resilience.errors.Certificate` machinery against the
+completed scale's ceiling weights, and continues bit-identically with the
+uninterrupted run.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..graph.digraph import DiGraph
+from ..resilience.checkpoint import (
+    ScaleCheckpoint,
+    checkpoint_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from ..resilience.errors import Certificate, CheckpointError
+from ..resilience.preempt import CancelToken, cancel_scope
 from ..runtime.metrics import Cost, CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
 from ..runtime.rng import derive_seed
@@ -29,6 +51,7 @@ class ScalingStats:
 
     scales: list[int] = field(default_factory=list)
     per_scale: list[ReweightingStats] = field(default_factory=list)
+    resumed_from_scale: int | None = None   # checkpointed scale we resumed at
 
     @property
     def total_iterations(self) -> int:
@@ -47,23 +70,75 @@ class ScalingResult:
         return self.price is not None
 
 
+def _ceil_div(w: np.ndarray, s: int) -> np.ndarray:
+    """``⌈w/s⌉`` element-wise for positive ``s``."""
+    return -((-w) // s)
+
+
+def _restore(ck: ScaleCheckpoint, g: DiGraph, w: np.ndarray,
+             fingerprint: str, local: CostAccumulator,
+             stats: ScalingStats, checkpoint_path) -> ScaleCheckpoint:
+    """Validate ``ck`` against this solve and rebuild the loop state.
+
+    Two independent gates before a single resumed step runs:
+
+    1. the fingerprint must bind the checkpoint to this exact graph,
+       weight vector, and solver configuration (mode/eps/seed);
+    2. the stored potential must pass the :class:`Certificate` feasibility
+       re-check against the completed scale's ceiling weights — the same
+       machinery that certifies final results, run by the consumer rather
+       than the producer of the checkpoint.
+    """
+    if ck.fingerprint != fingerprint:
+        raise CheckpointError(
+            "checkpoint does not match this instance/configuration "
+            "(different graph, weights, mode, eps, or seed)",
+            path=checkpoint_path, reason="fingerprint")
+    if len(ck.price) != g.n:
+        raise CheckpointError(
+            f"checkpoint potential has {len(ck.price)} entries for an "
+            f"{g.n}-vertex graph", path=checkpoint_path, reason="schema")
+    cert = Certificate("price", price=ck.price)
+    if not cert.verify(g.with_weights(_ceil_div(w, ck.scale))):
+        raise CheckpointError(
+            f"checkpoint potential failed its certificate re-check at "
+            f"scale {ck.scale}", path=checkpoint_path, reason="certificate")
+    local.charge_cost(Cost(*ck.cost))
+    stats.scales.extend(ck.scales)
+    stats.per_scale.extend(ReweightingStats(**d) for d in ck.per_scale)
+    stats.resumed_from_scale = ck.scale
+    return ck
+
+
 def scaled_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
                        mode: str = "parallel", assp_engine=None,
                        eps: float = 0.2, seed=0,
                        acc: CostAccumulator | None = None,
                        model: CostModel = DEFAULT_MODEL,
                        fault_plan=None, retry_policy=None,
-                       guard=None) -> ScalingResult:
+                       guard=None, token: CancelToken | None = None,
+                       checkpoint_path=None, resume: bool = False,
+                       on_checkpoint=None) -> ScalingResult:
     """Feasible price function for arbitrary integer weights, or a cycle.
 
     Resilience hooks thread down into every randomized stage; the
     ``"potential"`` fault site corrupts the *final* returned price, which
     only the independent feasibility check in ``core.sssp`` can catch —
     proving that check is load-bearing.
+
+    Preemption hooks: ``token`` is checked at every scale boundary (and
+    ambiently inside the primitives below); ``checkpoint_path`` persists
+    each completed scale atomically; ``resume`` restores a matching
+    checkpoint (missing file ⇒ fresh start; corrupted/mismatched file ⇒
+    :class:`~repro.resilience.errors.CheckpointError`).  ``on_checkpoint``
+    is called with each :class:`ScaleCheckpoint` just after its durable
+    write — the fault-injection hook the kill-and-resume tests use.
     """
     w = (g.w if weights is None else np.asarray(weights, dtype=np.int64))
     local = CostAccumulator()
     stats = ScalingStats()
+    if token is not None:
+        token.check("scaling:entry")
     if g.m == 0 or w.min() >= 0:
         price = np.zeros(g.n, dtype=np.int64)
         if fault_plan is not None:
@@ -75,33 +150,76 @@ def scaled_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
     b = 1
     while b < n_neg:
         b *= 2
+
+    fingerprint = None
+    if checkpoint_path is not None or resume:
+        fingerprint = checkpoint_fingerprint(g, w, mode=mode, eps=eps,
+                                             seed=seed)
+
     price = np.zeros(g.n, dtype=np.int64)
     s = b
     scale_idx = 0
-    while True:
-        # effective weights at this scale: ceil(w/s) + price terms; the
-        # invariant guarantees they are >= -1
-        w_scaled = -((-w) // s)  # ceil division for positive s
-        w_eff = w_scaled + price[g.src] - price[g.dst]
-        local.charge_cost(model.map(g.m))
-        res = one_reweighting(g, w_eff, mode=mode, assp_engine=assp_engine,
-                              eps=eps, seed=derive_seed(seed, scale_idx),
-                              acc=local, model=model, fault_plan=fault_plan,
-                              retry_policy=retry_policy, guard=guard)
-        stats.scales.append(s)
-        stats.per_scale.append(res.stats)
-        if res.negative_cycle is not None:
+    if resume and checkpoint_path is not None \
+            and os.path.exists(checkpoint_path):
+        ck = _restore(load_checkpoint(checkpoint_path), g, w, fingerprint,
+                      local, stats, checkpoint_path)
+        if ck.done:
+            # the final scale already completed: the stored potential is
+            # feasible for the exact weights; nothing left to solve
+            price = ck.price
+            if fault_plan is not None:
+                price = fault_plan.corrupt_potential(g.src, g.dst, w, price)
             if acc is not None:
                 acc.charge_cost(local.snapshot())
                 acc.merge_stages_from(local)
-            return ScalingResult(None, res.negative_cycle, stats,
-                                 local.snapshot())
-        price = price + res.price
-        if s == 1:
-            break
-        price = 2 * price
-        s //= 2
-        scale_idx += 1
+            return ScalingResult(price, None, stats, local.snapshot())
+        price = 2 * ck.price
+        s = ck.scale // 2
+        scale_idx = ck.scale_idx + 1
+
+    with cancel_scope(token):
+        while True:
+            if token is not None:
+                token.check("scaling:scale-boundary")
+            # effective weights at this scale: ceil(w/s) + price terms; the
+            # invariant guarantees they are >= -1
+            w_eff = _ceil_div(w, s) + price[g.src] - price[g.dst]
+            local.charge_cost(model.map(g.m))
+            res = one_reweighting(g, w_eff, mode=mode,
+                                  assp_engine=assp_engine, eps=eps,
+                                  seed=derive_seed(seed, scale_idx),
+                                  acc=local, model=model,
+                                  fault_plan=fault_plan,
+                                  retry_policy=retry_policy, guard=guard,
+                                  token=token)
+            stats.scales.append(s)
+            stats.per_scale.append(res.stats)
+            if res.negative_cycle is not None:
+                if acc is not None:
+                    acc.charge_cost(local.snapshot())
+                    acc.merge_stages_from(local)
+                return ScalingResult(None, res.negative_cycle, stats,
+                                     local.snapshot())
+            price = price + res.price
+            if checkpoint_path is not None:
+                ck = ScaleCheckpoint(
+                    fingerprint=fingerprint, seed=int(seed), scale_b=b,
+                    scale=s, scale_idx=scale_idx, done=(s == 1),
+                    price=price, cost=(local.work, local.span,
+                                       local.span_model),
+                    scales=list(stats.scales),
+                    per_scale=[{"k_trajectory": ps.k_trajectory,
+                                "methods": ps.methods,
+                                "improved": ps.improved}
+                               for ps in stats.per_scale])
+                save_checkpoint(checkpoint_path, ck)
+                if on_checkpoint is not None:
+                    on_checkpoint(ck)
+            if s == 1:
+                break
+            price = 2 * price
+            s //= 2
+            scale_idx += 1
     if fault_plan is not None:
         price = fault_plan.corrupt_potential(g.src, g.dst, w, price)
     if acc is not None:

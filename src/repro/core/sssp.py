@@ -29,12 +29,14 @@ from ..graph.validate import validate_graph
 from ..resilience.errors import (
     BudgetExceededError,
     Certificate,
+    DeadlineExceededError,
     InputValidationError,
     NegativeCycleError,
     RetryExhaustedError,
     VerificationError,
 )
 from ..resilience.guard import BudgetGuard
+from ..resilience.preempt import CancelToken, Deadline, cancel_scope, make_token
 from ..resilience.retry import AttemptRecord, RetryPolicy, SolveProvenance
 from ..runtime.metrics import Cost, CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
@@ -78,7 +80,10 @@ def solve_sssp(g: DiGraph, source: int, *,
                model: CostModel = DEFAULT_MODEL,
                check_certificates: bool = True,
                fault_plan=None, retry_policy: RetryPolicy | None = None,
-               guard: BudgetGuard | None = None) -> SsspResult:
+               guard: BudgetGuard | None = None,
+               token: CancelToken | None = None,
+               checkpoint_path=None, resume: bool = False,
+               on_checkpoint=None) -> SsspResult:
     """Single-source shortest paths with integer (possibly negative) weights.
 
     Parameters
@@ -96,6 +101,12 @@ def solve_sssp(g: DiGraph, source: int, *,
         Resilience hooks, threaded into every randomized stage; see
         :mod:`repro.resilience`.  ``solve_sssp_resilient`` owns the
         outermost retry/fallback loop around this function.
+    token, checkpoint_path, resume, on_checkpoint :
+        Preemption hooks (see :mod:`repro.resilience.preempt` and
+        :mod:`repro.resilience.checkpoint`): cooperative cancellation /
+        deadline checks at phase boundaries and in the primitives below,
+        plus phase-level checkpointing of the scaling loop with verified
+        resume.  A resumed solve is bit-identical to an uninterrupted one.
     """
     if not (0 <= source < g.n):
         raise InputValidationError("source out of range")
@@ -103,7 +114,9 @@ def solve_sssp(g: DiGraph, source: int, *,
     scal = scaled_reweighting(g, mode=mode, assp_engine=assp_engine,
                               eps=eps, seed=seed, acc=local, model=model,
                               fault_plan=fault_plan,
-                              retry_policy=retry_policy, guard=guard)
+                              retry_policy=retry_policy, guard=guard,
+                              token=token, checkpoint_path=checkpoint_path,
+                              resume=resume, on_checkpoint=on_checkpoint)
     if scal.negative_cycle is not None:
         cert = Certificate("negative_cycle", cycle=list(scal.negative_cycle))
         if check_certificates and not cert.verify(g):
@@ -120,6 +133,8 @@ def solve_sssp(g: DiGraph, source: int, *,
     if check_certificates and not cert.verify(g):
         raise VerificationError(
             "internal error: infeasible price function", stage="solve_sssp")
+    if token is not None:
+        token.check("sssp:final-dijkstra")
     w_red = g.w + price[g.src] - price[g.dst] if g.m else g.w
     local.charge_cost(model.map(g.m))
     with local.stage("final-dijkstra"):
@@ -147,7 +162,11 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
                          max_work: float | None = None,
                          max_span: float | None = None,
                          fallback: bool = True,
-                         raise_on_cycle: bool = False) -> SsspResult:
+                         raise_on_cycle: bool = False,
+                         deadline: "Deadline | float | None" = None,
+                         token: CancelToken | None = None,
+                         checkpoint_path=None, resume: bool = False,
+                         on_checkpoint=None) -> SsspResult:
     """Self-checking SSSP: verify, retry with fresh randomness, degrade.
 
     The Las Vegas solve is attempted up to ``retry_policy.max_attempts``
@@ -162,6 +181,26 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
     the reason and full attempt history.  With ``fallback`` off, the
     terminal error propagates.
 
+    Preemption (PR 2): ``deadline`` (a
+    :class:`~repro.resilience.preempt.Deadline` or plain seconds) and/or
+    ``token`` make the solve cooperatively preemptible — checks run at
+    phase boundaries and inside the runtime primitives.  Deadline expiry
+    behaves like budget exhaustion: with ``fallback`` on, the solve
+    degrades to Bellman–Ford with ``fallback_reason`` prefixed
+    ``"deadline"``; with ``fallback`` off,
+    :class:`~repro.resilience.errors.DeadlineExceededError` propagates
+    (CLI exit code 5).  *Manual* cancellation always propagates as
+    :class:`~repro.resilience.errors.CancelledError` — stopping is the
+    caller's explicit intent, so no fallback answer is computed.
+
+    ``checkpoint_path`` persists a verified checkpoint after every scale
+    level of the primary attempt (attempt 0 — the only deterministic one;
+    retry attempts re-randomise, so they never touch the checkpoint) and
+    ``resume=True`` restarts from it after re-validating the stored
+    potential with the :class:`Certificate` machinery.  Distances,
+    certificate, and provenance of a resumed solve are bit-identical to
+    the uninterrupted run.
+
     Every result — primary or fallback — carries a certificate (feasible
     price or validated cycle) that is re-checked independently here before
     being returned.  ``raise_on_cycle`` converts cycle results into
@@ -173,16 +212,29 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
     policy = retry_policy or RetryPolicy(max_attempts=3)
     guard = (BudgetGuard(max_work=max_work, max_span=max_span)
              if (max_work is not None or max_span is not None) else None)
+    token = make_token(deadline, token)
     attempts: list[AttemptRecord] = []
     failure: Exception | None = None
 
     for attempt in range(policy.max_attempts):
         aseed = policy.attempt_seed(seed, attempt)
+        primary = attempt == 0
         try:
-            res = solve_sssp(g, source, mode=mode, assp_engine=assp_engine,
-                             eps=eps, seed=aseed, acc=acc, model=model,
-                             check_certificates=True, fault_plan=fault_plan,
-                             retry_policy=policy, guard=guard)
+            with cancel_scope(token):
+                res = solve_sssp(
+                    g, source, mode=mode, assp_engine=assp_engine,
+                    eps=eps, seed=aseed, acc=acc, model=model,
+                    check_certificates=True, fault_plan=fault_plan,
+                    retry_policy=policy, guard=guard, token=token,
+                    checkpoint_path=checkpoint_path if primary else None,
+                    resume=resume and primary,
+                    on_checkpoint=on_checkpoint if primary else None)
+        except DeadlineExceededError as exc:
+            attempts.append(AttemptRecord("solve_sssp", attempt, aseed,
+                                          False,
+                                          f"{type(exc).__name__}: {exc}"))
+            failure = exc
+            break  # elapsed time is not refundable — no further attempts
         except VerificationError as exc:
             attempts.append(AttemptRecord("solve_sssp", attempt, aseed,
                                           False,
@@ -202,14 +254,18 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
         return _finish(g, res, raise_on_cycle)
 
     if not fallback:
-        if isinstance(failure, BudgetExceededError):
+        if isinstance(failure, (BudgetExceededError, DeadlineExceededError)):
             raise failure
         raise RetryExhaustedError(
             f"solve failed verification on all {len(attempts)} attempts "
             "and fallback is disabled",
             stage="solve_sssp_resilient", attempts=attempts) from failure
-    reason = (f"{type(failure).__name__}: {failure}"
-              if failure is not None else "retry budget exhausted")
+    if isinstance(failure, DeadlineExceededError):
+        reason = f"deadline: {failure}"
+    elif failure is not None:
+        reason = f"{type(failure).__name__}: {failure}"
+    else:
+        reason = "retry budget exhausted"
     res = _bellman_ford_fallback(g, source, model, acc)
     res.provenance = SolveProvenance(
         engine="fallback:bellman_ford", attempts=attempts,

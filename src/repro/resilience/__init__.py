@@ -11,12 +11,21 @@ Four pieces (DESIGN.md "Robustness & verification"):
   retry loop with seed escalation and per-attempt telemetry;
 * :mod:`~repro.resilience.guard` — :class:`BudgetGuard` work/span ceilings
   feeding the graceful Bellman–Ford degradation in
-  :func:`repro.core.sssp.solve_sssp_resilient`.
+  :func:`repro.core.sssp.solve_sssp_resilient`;
+* :mod:`~repro.resilience.preempt` — :class:`Deadline` / :class:`CancelToken`
+  cooperative preemption, checked at phase boundaries and inside
+  ``parallel_for`` grain loops;
+* :mod:`~repro.resilience.checkpoint` — atomic, hash-stamped phase-level
+  checkpoints of the scaling loop (:class:`ScaleCheckpoint`), re-validated
+  with the :class:`Certificate` machinery on resume.
 """
 
 from .errors import (
     BudgetExceededError,
+    CancelledError,
     Certificate,
+    CheckpointError,
+    DeadlineExceededError,
     InputValidationError,
     NegativeCycleError,
     ReproError,
@@ -25,6 +34,21 @@ from .errors import (
 )
 from .faults import SITES as FAULT_SITES, FaultEvent, FaultPlan, FaultSpec
 from .guard import BudgetGuard, Meter
+from .preempt import (
+    CancelToken,
+    Deadline,
+    cancel_scope,
+    check_cancelled,
+    current_token,
+    make_token,
+)
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    ScaleCheckpoint,
+    checkpoint_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .retry import AttemptRecord, RetryPolicy, SolveProvenance
 
 __all__ = [
@@ -34,6 +58,20 @@ __all__ = [
     "RetryExhaustedError",
     "BudgetExceededError",
     "NegativeCycleError",
+    "CancelledError",
+    "DeadlineExceededError",
+    "CheckpointError",
+    "Deadline",
+    "CancelToken",
+    "cancel_scope",
+    "check_cancelled",
+    "current_token",
+    "make_token",
+    "ScaleCheckpoint",
+    "CHECKPOINT_VERSION",
+    "checkpoint_fingerprint",
+    "save_checkpoint",
+    "load_checkpoint",
     "Certificate",
     "FaultPlan",
     "FaultSpec",

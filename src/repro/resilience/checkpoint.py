@@ -1,0 +1,230 @@
+"""Phase-level checkpoints for the bit-scaling solver.
+
+Goldberg's scaling loop (PAPER.md §5) produces a *verified price
+function* after every scale level — a natural unit of durable progress.
+This module serializes exactly that unit: after scale ``s`` completes,
+the accumulated potential, the scale index (which, with the top-level
+seed, is the entire RNG state: every per-scale seed is
+``derive_seed(seed, scale_idx)``), the accumulated model
+:class:`~repro.runtime.metrics.Cost`, and the telemetry so far.  Resuming
+re-validates the stored potential with the PR-1
+:class:`~repro.resilience.errors.Certificate` machinery against the
+completed scale's ceiling weights before continuing bit-identically.
+
+File format (version 1)::
+
+    magic    8 bytes   b"REPROCK\\x01"
+    version  4 bytes   big-endian uint32
+    length   8 bytes   big-endian uint64, payload byte count
+    digest  32 bytes   SHA-256 of the payload
+    payload           UTF-8 JSON (price array base64-packed little-endian
+                      int64)
+
+The loader validates magic, declared length, and digest *before* decoding
+a single payload byte, so truncated files, flipped bytes, and arbitrary
+non-checkpoint files all raise a structured
+:class:`~repro.resilience.errors.CheckpointError` instead of being
+interpreted.  The payload is JSON, never pickle: loading a checkpoint
+can not execute code.  Writes are atomic (temp file + ``os.replace`` in
+the destination directory) so a crash mid-write leaves the previous
+checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .errors import CheckpointError
+
+CHECKPOINT_MAGIC = b"REPROCK\x01"
+CHECKPOINT_VERSION = 1
+_HEADER = struct.Struct(">8sIQ32s")   # magic, version, payload len, sha256
+_KIND = "repro-scaling-checkpoint"
+
+
+def checkpoint_fingerprint(g, weights=None, *, mode: str, eps: float,
+                           seed: int) -> str:
+    """Digest binding a checkpoint to one (instance, solver-config) pair.
+
+    Covers the exact graph bytes plus every parameter that steers the
+    randomized solve (mode, eps, seed) — matching fingerprints guarantee
+    the resumed run replays the identical computation.
+    """
+    from ..graph.io import graph_digest
+
+    return graph_digest(g, weights,
+                        extra=("scaling", mode, float(eps), int(seed)))
+
+
+@dataclass
+class ScaleCheckpoint:
+    """Durable state after one completed scale level.
+
+    ``price`` is the accumulated potential *after folding in* scale
+    ``scale``'s verified price (before the doubling that enters the next
+    scale), so it is feasible for the ceiling weights ``⌈w/scale⌉`` —
+    exactly what :meth:`~repro.resilience.errors.Certificate.verify`
+    re-checks on resume.  ``done`` marks the final scale (``scale == 1``):
+    the potential is then feasible for the original weights and resume
+    skips the loop entirely.
+    """
+
+    fingerprint: str
+    seed: int
+    scale_b: int                 # initial (largest) scale
+    scale: int                   # scale level just completed
+    scale_idx: int               # its index (the per-scale RNG salt)
+    done: bool                   # scale == 1 completed → nothing left
+    price: np.ndarray            # int64 accumulated potential, undoubled
+    cost: tuple                  # (work, span, span_model) accumulated
+    scales: list = field(default_factory=list)      # ScalingStats.scales
+    per_scale: list = field(default_factory=list)   # per-scale stat dicts
+
+
+def _encode(ck: ScaleCheckpoint) -> bytes:
+    price = np.ascontiguousarray(ck.price, dtype=np.int64)
+    payload = {
+        "kind": _KIND,
+        "fingerprint": str(ck.fingerprint),
+        "seed": int(ck.seed),
+        "scale_b": int(ck.scale_b),
+        "scale": int(ck.scale),
+        "scale_idx": int(ck.scale_idx),
+        "done": bool(ck.done),
+        "n": int(len(price)),
+        "price": base64.b64encode(price.tobytes()).decode("ascii"),
+        "cost": [float(c) for c in ck.cost],
+        "scales": [int(s) for s in ck.scales],
+        "per_scale": ck.per_scale,
+    }
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def _decode(payload: bytes, path) -> ScaleCheckpoint:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"checkpoint payload is not valid JSON: {exc}",
+            path=path, reason="schema") from exc
+    try:
+        if obj["kind"] != _KIND:
+            raise CheckpointError(
+                f"not a scaling checkpoint (kind={obj['kind']!r})",
+                path=path, reason="schema")
+        price = np.frombuffer(
+            base64.b64decode(obj["price"], validate=True), dtype=np.int64)
+        if len(price) != int(obj["n"]):
+            raise CheckpointError(
+                "checkpoint price length disagrees with its header",
+                path=path, reason="schema")
+        cost = tuple(float(c) for c in obj["cost"])
+        if len(cost) != 3:
+            raise CheckpointError("checkpoint cost must be a triple",
+                                  path=path, reason="schema")
+        per_scale = [
+            {"k_trajectory": [int(k) for k in d["k_trajectory"]],
+             "methods": [str(m) for m in d["methods"]],
+             "improved": [int(i) for i in d["improved"]]}
+            for d in obj["per_scale"]
+        ]
+        return ScaleCheckpoint(
+            fingerprint=str(obj["fingerprint"]),
+            seed=int(obj["seed"]),
+            scale_b=int(obj["scale_b"]),
+            scale=int(obj["scale"]),
+            scale_idx=int(obj["scale_idx"]),
+            done=bool(obj["done"]),
+            price=price.copy(),
+            cost=cost,
+            scales=[int(s) for s in obj["scales"]],
+            per_scale=per_scale,
+        )
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint payload failed schema validation: {exc!r}",
+            path=path, reason="schema") from exc
+
+
+def save_checkpoint(path, ck: ScaleCheckpoint) -> None:
+    """Atomically write ``ck`` to ``path`` (temp file + ``os.replace``).
+
+    The temp file lives in the destination directory so the replace is
+    a same-filesystem atomic rename; a crash at any point leaves either
+    the previous checkpoint or the new one, never a torn file.
+    """
+    payload = _encode(ck)
+    header = _HEADER.pack(CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+                          len(payload), hashlib.sha256(payload).digest())
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(prefix=path.name + ".",
+                               suffix=".tmp", dir=path.parent or ".")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(header)
+            f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path) -> ScaleCheckpoint:
+    """Read and authenticate a checkpoint; raise
+    :class:`~repro.resilience.errors.CheckpointError` on anything
+    untrustworthy (see the module docstring for the validation order)."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint: {exc}",
+                              path=path, reason="io") from exc
+    if len(data) < _HEADER.size:
+        raise CheckpointError(
+            f"checkpoint truncated: {len(data)} bytes is shorter than the "
+            f"{_HEADER.size}-byte header", path=path, reason="truncated")
+    magic, version, length, digest = _HEADER.unpack_from(data)
+    if magic != CHECKPOINT_MAGIC:
+        raise CheckpointError(
+            "not a repro checkpoint file (bad magic)",
+            path=path, reason="magic")
+    payload = data[_HEADER.size:]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"checkpoint truncated: header declares {length} payload "
+            f"bytes, found {len(payload)}", path=path, reason="truncated")
+    if hashlib.sha256(payload).digest() != digest:
+        raise CheckpointError(
+            "checkpoint checksum mismatch (corrupted or tampered file)",
+            path=path, reason="checksum")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version} is not supported "
+            f"(this build reads version {CHECKPOINT_VERSION})",
+            path=path, reason="version")
+    return _decode(payload, path)
+
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "ScaleCheckpoint",
+    "checkpoint_fingerprint",
+    "save_checkpoint",
+    "load_checkpoint",
+]

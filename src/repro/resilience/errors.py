@@ -81,6 +81,52 @@ class BudgetExceededError(ReproError, RuntimeError):
         self.max_span = max_span
 
 
+class CancelledError(ReproError, RuntimeError):
+    """A cooperative :class:`~repro.resilience.preempt.CancelToken` was
+    cancelled and a check point honoured it.
+
+    Deliberately *not* a :class:`VerificationError`: cancellation is a
+    caller decision, so retry loops must let it propagate immediately.
+    ``where`` names the check site that observed the cancellation (e.g.
+    ``"scaling:scale-boundary"``), ``reason`` the caller-supplied cause.
+    """
+
+    def __init__(self, message: str, *, where: str | None = None,
+                 reason: str | None = None) -> None:
+        super().__init__(message)
+        self.where = where
+        self.reason = reason
+
+
+class DeadlineExceededError(CancelledError):
+    """A :class:`~repro.resilience.preempt.Deadline` expired mid-solve.
+
+    A :class:`CancelledError` subclass so generic cancellation handling
+    (pool draining, phase checks) treats it uniformly, but distinct so the
+    resilient solver can degrade gracefully on deadlines — provenance
+    records ``"deadline"`` — while manual cancellation always propagates.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file could not be trusted or did not match the solve.
+
+    Raised for truncated/corrupted files (bad magic, checksum mismatch),
+    version skew, and fingerprint mismatches (the checkpoint belongs to a
+    different instance/seed).  The loader validates magic and checksum
+    *before* decoding any payload, so a non-checkpoint or tampered file is
+    rejected without interpreting its bytes.  ``reason`` is a short
+    machine-readable tag (``"magic"``, ``"truncated"``, ``"checksum"``,
+    ``"version"``, ``"schema"``, ``"fingerprint"``, ``"io"``).
+    """
+
+    def __init__(self, message: str, *, path: Any = None,
+                 reason: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.reason = reason
+
+
 class NegativeCycleError(ReproError):
     """The instance contains a negative cycle (with certificate attached).
 

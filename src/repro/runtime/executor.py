@@ -10,14 +10,29 @@ The executor is deliberately simple: a persistent thread pool plus a
 ``parallel_for`` that block-partitions an index range, mirroring the static
 scheduling idiom of the HPC guides.  Determinism is preserved because bodies
 write to disjoint slices.
+
+Two failure channels are handled explicitly:
+
+* a worker exception cancels every block not yet started, drains the ones
+  already running, and re-raises the first failure (in block-submission
+  order) — later blocks never keep computing behind a doomed loop;
+* a cooperative :class:`~repro.resilience.preempt.CancelToken` (passed
+  explicitly or installed ambiently via
+  :func:`~repro.resilience.preempt.cancel_scope`) is honoured at loop
+  entry, before each block is dispatched, and at the start of each block's
+  body; a cancelled loop stops dispatching, drains in-flight blocks, and
+  raises :class:`~repro.resilience.errors.CancelledError` — never killing
+  a thread mid-write.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable
+
+from ..resilience.preempt import CancelToken, current_token
 
 
 class ForkJoinPool:
@@ -32,34 +47,78 @@ class ForkJoinPool:
         self._pool: ThreadPoolExecutor | None = (
             ThreadPoolExecutor(max_workers=n_workers) if n_workers > 1 else None
         )
+        self._closed = False
         self._lock = threading.Lock()
 
     def parallel_for(self, n: int, body: Callable[[int, int], None],
-                     grain: int = 1024) -> None:
+                     grain: int = 1024,
+                     token: CancelToken | None = None) -> None:
         """Run ``body(lo, hi)`` over a block partition of ``range(n)``.
 
         Blocks are disjoint, so bodies may write to disjoint output slices
         without synchronisation.  Falls back to one sequential call when the
         range is small or the pool has a single worker.
+
+        ``token`` (defaulting to the ambient
+        :func:`~repro.resilience.preempt.current_token`) makes the loop
+        preemptible: cancellation observed before/under dispatch stops new
+        blocks, already-running blocks drain, and
+        :class:`~repro.resilience.errors.CancelledError` is raised after
+        the join.  On a worker exception, pending blocks are cancelled and
+        the first exception (in submission order) is re-raised once every
+        started block has finished.
         """
+        if self._closed:
+            raise RuntimeError("parallel_for on a shut-down ForkJoinPool")
+        if token is None:
+            token = current_token()
+        if token is not None:
+            token.check("parallel_for")
         if n <= 0:
             return
         if self._pool is None or n <= grain:
             body(0, n)
             return
-        blocks = min(self.n_workers, max(1, n // grain))
+        # a few blocks per worker (not one): stragglers rebalance, and a
+        # failure or cancellation can actually cancel a queued tail
+        blocks = min(max(1, n // grain), 4 * self.n_workers)
         step = (n + blocks - 1) // blocks
+
+        if token is None:
+            run_block = body
+        else:
+            def run_block(lo: int, hi: int) -> None:
+                token.check("parallel_for:block")
+                body(lo, hi)
+
         futures = []
         for lo in range(0, n, step):
-            hi = min(lo + step, n)
-            futures.append(self._pool.submit(body, lo, hi))
-        for f in futures:
-            f.result()
+            if token is not None and token.cancelled:
+                break  # stop dispatching; drain what is already in flight
+            futures.append(self._pool.submit(run_block, lo, min(lo + step, n)))
+
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = any(not f.cancelled() and f.exception() is not None
+                     for f in done)
+        if failed or not_done:
+            for f in not_done:
+                f.cancel()
+            wait(futures)  # drain blocks that were already running
+        for f in futures:  # re-raise the first failure in submission order
+            if not f.cancelled() and f.exception() is not None:
+                raise f.exception()
+        if token is not None:
+            token.check("parallel_for:join")
 
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release the worker threads; idempotent (extra calls are no-ops)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ForkJoinPool":
         return self

@@ -5,6 +5,13 @@ single-node execution) and charges the binary-forking cost of the same step
 to the caller's :class:`~repro.runtime.metrics.CostAccumulator`.  Algorithm
 code built from these primitives therefore computes correct answers *and*
 carries a faithful work/span ledger.
+
+Every primitive honours the ambient cancellation token
+(:func:`~repro.resilience.preempt.check_cancelled`): inside a
+``cancel_scope`` a cancelled or deadline-expired solve stops at the next
+primitive call — between vectorised steps, never mid-array — without any
+algorithm signature having to thread a token parameter.  With no scope
+installed the check is a single context-variable read.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
+from ..resilience.preempt import check_cancelled
 from .metrics import CostAccumulator
 from .model import CostModel, DEFAULT_MODEL
 
@@ -25,6 +33,7 @@ def parallel_map(values: Sequence[T], fn: Callable[[T], U],
                  model: CostModel = DEFAULT_MODEL,
                  per_item_work: float = 1.0) -> list[U]:
     """Apply ``fn`` to every element (a parallel-for in the model)."""
+    check_cancelled("primitives:parallel_map")
     acc.charge_cost(model.map(len(values), per_item_work))
     return [fn(v) for v in values]
 
@@ -32,6 +41,7 @@ def parallel_map(values: Sequence[T], fn: Callable[[T], U],
 def prefix_sum(a: np.ndarray, acc: CostAccumulator,
                model: CostModel = DEFAULT_MODEL) -> np.ndarray:
     """Exclusive prefix sums (parallel scan)."""
+    check_cancelled("primitives:prefix_sum")
     acc.charge_cost(model.scan(len(a)))
     out = np.zeros(len(a) + 1, dtype=a.dtype if a.dtype.kind in "iu" else np.int64)
     np.cumsum(a, out=out[1:])
@@ -41,6 +51,7 @@ def prefix_sum(a: np.ndarray, acc: CostAccumulator,
 def pack(a: np.ndarray, mask: np.ndarray, acc: CostAccumulator,
          model: CostModel = DEFAULT_MODEL) -> np.ndarray:
     """Compact the elements of ``a`` selected by boolean ``mask``."""
+    check_cancelled("primitives:pack")
     if len(a) != len(mask):
         raise ValueError("pack: array and mask lengths differ")
     acc.charge_cost(model.pack(len(a)))
@@ -50,6 +61,7 @@ def pack(a: np.ndarray, mask: np.ndarray, acc: CostAccumulator,
 def parallel_sort(a: np.ndarray, acc: CostAccumulator,
                   model: CostModel = DEFAULT_MODEL) -> np.ndarray:
     """Sorted copy of ``a`` (parallel comparison sort)."""
+    check_cancelled("primitives:parallel_sort")
     acc.charge_cost(model.sort(len(a)))
     return np.sort(a, kind="stable")
 
@@ -57,6 +69,7 @@ def parallel_sort(a: np.ndarray, acc: CostAccumulator,
 def parallel_argsort(a: np.ndarray, acc: CostAccumulator,
                      model: CostModel = DEFAULT_MODEL) -> np.ndarray:
     """Stable argsort of ``a`` (parallel comparison sort)."""
+    check_cancelled("primitives:parallel_argsort")
     acc.charge_cost(model.sort(len(a)))
     return np.argsort(a, kind="stable")
 
@@ -65,6 +78,7 @@ def parallel_reduce_max(a: np.ndarray, acc: CostAccumulator,
                         model: CostModel = DEFAULT_MODEL,
                         default: float = -np.inf) -> float:
     """Maximum of ``a`` (parallel reduction)."""
+    check_cancelled("primitives:reduce_max")
     acc.charge_cost(model.reduce(len(a)))
     if len(a) == 0:
         return default
@@ -74,6 +88,7 @@ def parallel_reduce_max(a: np.ndarray, acc: CostAccumulator,
 def parallel_reduce_sum(a: np.ndarray, acc: CostAccumulator,
                         model: CostModel = DEFAULT_MODEL) -> float:
     """Sum of ``a`` (parallel reduction)."""
+    check_cancelled("primitives:reduce_sum")
     acc.charge_cost(model.reduce(len(a)))
     return a.sum() if len(a) else 0
 

@@ -112,6 +112,76 @@ class TestSolve:
         assert out.startswith("d 1 0")
 
 
+class TestPreemption:
+    def _graph_file(self, capsys, tmp_path):
+        _, text, _ = run_cli(capsys, "generate", "hidden-potential",
+                             "--n", "15", "--m", "50")
+        p = tmp_path / "g.gr"
+        p.write_text(text)
+        return p
+
+    def test_deadline_with_fallback_degrades(self, capsys, tmp_path):
+        p = self._graph_file(capsys, tmp_path)
+        rc, out, err = run_cli(capsys, "solve", str(p), "--deadline", "0")
+        assert rc == 0
+        assert "degraded to fallback:bellman_ford" in err
+        assert "deadline" in err
+        assert out.startswith("d 1 0")
+
+    def test_deadline_no_fallback_exit_code_5(self, capsys, tmp_path):
+        p = self._graph_file(capsys, tmp_path)
+        ck = tmp_path / "ck.bin"
+        rc, _, err = run_cli(capsys, "solve", str(p), "--deadline", "0",
+                             "--no-fallback", "--checkpoint", str(ck))
+        assert rc == 5
+        assert "DeadlineExceededError" in err
+        assert "--resume" in err  # points the user at the checkpoint
+
+    def test_negative_deadline_rejected(self, capsys, tmp_path):
+        p = self._graph_file(capsys, tmp_path)
+        rc, _, err = run_cli(capsys, "solve", str(p), "--deadline", "-1")
+        assert rc == 2
+        assert "--deadline" in err
+
+    def test_resume_requires_checkpoint(self, capsys, tmp_path):
+        p = self._graph_file(capsys, tmp_path)
+        rc, _, err = run_cli(capsys, "solve", str(p), "--resume")
+        assert rc == 2
+        assert "--resume requires --checkpoint" in err
+
+    def test_checkpoint_then_resume_identical_output(self, capsys, tmp_path):
+        p = self._graph_file(capsys, tmp_path)
+        ck = tmp_path / "ck.bin"
+        rc, base, _ = run_cli(capsys, "solve", str(p))
+        assert rc == 0
+        rc, first, _ = run_cli(capsys, "solve", str(p),
+                               "--checkpoint", str(ck))
+        assert rc == 0 and first == base and ck.exists()
+        rc, resumed, _ = run_cli(capsys, "solve", str(p),
+                                 "--checkpoint", str(ck), "--resume")
+        assert rc == 0
+        assert resumed == base
+
+    def test_resume_with_missing_checkpoint_is_fresh_start(self, capsys,
+                                                           tmp_path):
+        p = self._graph_file(capsys, tmp_path)
+        ck = tmp_path / "never-written.bin"
+        rc, base, _ = run_cli(capsys, "solve", str(p))
+        rc2, out, _ = run_cli(capsys, "solve", str(p),
+                              "--checkpoint", str(ck), "--resume")
+        assert (rc, rc2) == (0, 0)
+        assert out == base
+
+    def test_garbage_checkpoint_exit_code_2(self, capsys, tmp_path):
+        p = self._graph_file(capsys, tmp_path)
+        ck = tmp_path / "ck.bin"
+        ck.write_bytes(b"not a checkpoint at all, sorry")
+        rc, _, err = run_cli(capsys, "solve", str(p),
+                             "--checkpoint", str(ck), "--resume")
+        assert rc == 2
+        assert "unusable checkpoint" in err
+
+
 class TestBench:
     def test_e7_runs(self, capsys):
         rc, out, _ = run_cli(capsys, "bench", "e7")

@@ -1,8 +1,13 @@
 """Tests for the optional fork-join thread executor."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
+from repro.resilience import CancelToken, Deadline, cancel_scope
+from repro.resilience.errors import CancelledError, DeadlineExceededError
 from repro.runtime import ForkJoinPool, default_pool
 
 
@@ -52,3 +57,135 @@ class TestForkJoinPool:
 
     def test_default_pool_singleton(self):
         assert default_pool() is default_pool()
+
+
+class TestErrorHandling:
+    """Satellite: first failure cancels pending blocks and is re-raised."""
+
+    def test_first_exception_in_submission_order_wins(self):
+        barrier = threading.Barrier(2, timeout=5)
+
+        def body(lo, hi):
+            # two workers fail "simultaneously"; the re-raised error must
+            # be the earliest *block's*, independent of wall-clock order
+            barrier.wait()
+            if lo == 0:
+                time.sleep(0.05)
+                raise ValueError("block-0")
+            raise KeyError("block-1")
+
+        with ForkJoinPool(n_workers=2) as pool:
+            with pytest.raises(ValueError, match="block-0"):
+                pool.parallel_for(2_000, body, grain=10)
+
+    def test_failure_cancels_not_yet_started_blocks(self):
+        ran = []
+        lock = threading.Lock()
+        release = threading.Event()
+
+        def body(lo, hi):
+            if lo == 0:
+                raise RuntimeError("early failure")
+            release.wait(timeout=5)
+            with lock:
+                ran.append(lo)
+
+        # 8 blocks on 1 pooled worker thread... use 2 workers, 8 blocks:
+        # the failure in block 0 must cancel the queued tail even though
+        # one long block is still draining
+        pool = ForkJoinPool(n_workers=2)
+        try:
+            t = threading.Timer(0.1, release.set)
+            t.start()
+            with pytest.raises(RuntimeError, match="early failure"):
+                pool.parallel_for(8_000, body, grain=10)
+            t.join()
+            # the queued tail was cancelled: of the 7 non-failing blocks,
+            # only the ones a worker had already picked up (at most one
+            # per worker) may complete
+            assert len(ran) <= 2
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        pool = ForkJoinPool(n_workers=2)
+        pool.shutdown()
+        pool.shutdown()  # second call is a no-op, not an error
+
+    def test_parallel_for_after_shutdown_raises(self):
+        pool = ForkJoinPool(n_workers=2)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut-down"):
+            pool.parallel_for(10, lambda lo, hi: None)
+
+    def test_context_manager_shuts_down(self):
+        with ForkJoinPool(n_workers=2) as pool:
+            pass
+        with pytest.raises(RuntimeError):
+            pool.parallel_for(10, lambda lo, hi: None)
+
+
+class TestCancellation:
+    """Satellite/tentpole: the pool is cancellation-aware."""
+
+    def test_precancelled_token_raises_before_any_block(self):
+        tok = CancelToken()
+        tok.cancel("stop")
+        calls = []
+        with ForkJoinPool(n_workers=2) as pool:
+            with pytest.raises(CancelledError):
+                pool.parallel_for(10_000, lambda lo, hi: calls.append(lo),
+                                  grain=10, token=tok)
+        assert calls == []
+
+    def test_expired_deadline_raises_deadline_error(self):
+        tok = CancelToken(Deadline(0.0, clock=lambda: 1.0))
+        with ForkJoinPool(n_workers=2) as pool:
+            with pytest.raises(DeadlineExceededError):
+                pool.parallel_for(10_000, lambda lo, hi: None,
+                                  grain=10, token=tok)
+
+    def test_cancel_stops_dispatch_and_raises_after_drain(self, monkeypatch):
+        tok = CancelToken()
+        pool = ForkJoinPool(n_workers=2)
+        real_submit = pool._pool.submit
+        submitted = []
+
+        def counting_submit(fn, lo, hi):
+            f = real_submit(fn, lo, hi)
+            submitted.append(lo)
+            if len(submitted) == 1:  # cancel mid-dispatch
+                tok.cancel("mid-dispatch stop")
+            return f
+
+        monkeypatch.setattr(pool._pool, "submit", counting_submit)
+        try:
+            with pytest.raises(CancelledError):
+                # 2 workers and tiny grain would normally dispatch 2 blocks
+                pool.parallel_for(4_000, lambda lo, hi: None, grain=10,
+                                  token=tok)
+            assert len(submitted) == 1  # dispatch stopped at the cancel
+        finally:
+            pool.shutdown()
+
+    def test_body_cancel_still_raises_after_completion(self):
+        tok = CancelToken()
+        done = []
+
+        def body(lo, hi):
+            done.append(lo)
+            tok.cancel("from inside")
+
+        with ForkJoinPool(n_workers=2) as pool:
+            with pytest.raises(CancelledError):
+                pool.parallel_for(4_000, body, grain=10, token=tok)
+        assert done  # blocks that started drained cleanly
+
+    def test_ambient_token_via_cancel_scope(self):
+        tok = CancelToken()
+        tok.cancel("ambient")
+        with ForkJoinPool(n_workers=2) as pool:
+            with cancel_scope(tok):
+                with pytest.raises(CancelledError):
+                    pool.parallel_for(10_000, lambda lo, hi: None, grain=10)
+            pool.parallel_for(100, lambda lo, hi: None)  # scope popped
