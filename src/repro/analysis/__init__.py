@@ -21,6 +21,11 @@ from .experiments import (
     run_family_robustness,
 )
 from .report import generate_report, write_report
+from .tracetables import (
+    run_trace_cost_breakdown,
+    trace_cost_breakdown,
+    trace_phase_table,
+)
 from .tables import print_table, render_table
 
 __all__ = [
@@ -46,4 +51,7 @@ __all__ = [
     "run_family_robustness",
     "generate_report",
     "write_report",
+    "trace_cost_breakdown",
+    "trace_phase_table",
+    "run_trace_cost_breakdown",
 ]

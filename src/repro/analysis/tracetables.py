@@ -1,0 +1,111 @@
+"""Per-phase cost tables regenerated from trace files.
+
+The A4 experiment (:func:`repro.analysis.experiments.run_cost_breakdown`)
+asks "where does the solver's work go?" and answers it from the live
+``CostAccumulator`` stage buckets.  This module answers the same question
+from a *trace file*: because every stage block
+(``scc`` / ``dag01`` / ``chain-elimination`` / ``final-dijkstra`` /
+``fallback-bellman-ford``) is wrapped by a span bound to the same
+accumulator over the same window, the span work deltas reproduce the stage
+buckets exactly — so ``trace_cost_breakdown(trace)`` on a solve's trace
+equals the A4 row computed during that solve (test-enforced in
+``tests/test_observability.py``).
+
+Being file-based, the tables also work *post hoc*: solve once with
+``repro solve g.gr --trace t.jsonl``, analyse later with
+``repro trace t.jsonl``.
+"""
+
+from __future__ import annotations
+
+from .experiments import Row
+from ..observability.export import Trace, load_trace
+
+# span names that mirror the CostAccumulator.stage buckets of A4
+STAGE_SPAN_NAMES = (
+    "scc",
+    "dag01",
+    "chain-elimination",
+    "final-dijkstra",
+    "fallback-bellman-ford",
+)
+
+__all__ = [
+    "STAGE_SPAN_NAMES",
+    "trace_cost_breakdown",
+    "trace_phase_table",
+    "run_trace_cost_breakdown",
+]
+
+
+def _as_trace(trace) -> Trace:
+    if isinstance(trace, Trace):
+        return trace
+    if hasattr(trace, "spans"):          # a Tracer
+        return Trace.from_tracer(trace)
+    return load_trace(trace)             # a path
+
+
+def trace_cost_breakdown(trace) -> list[Row]:
+    """The A4 per-stage work-share row, recomputed from a trace.
+
+    ``trace`` may be a :class:`~repro.observability.export.Trace`, a
+    :class:`~repro.observability.tracer.Tracer`, or a JSONL trace path.
+    Returns one row: total work plus each stage's share of it (stages sum
+    over every span instance with that name), with the non-staged
+    remainder under ``other_share`` — the same columns as
+    :func:`~repro.analysis.experiments.run_cost_breakdown`.
+    """
+    trace = _as_trace(trace)
+    total, _, _ = trace.totals()
+    if total <= 0:
+        raise ValueError("trace has no root work to break down")
+    stage_work: dict[str, float] = {}
+    for s in trace.spans:
+        if s.name in STAGE_SPAN_NAMES:
+            stage_work[s.name] = stage_work.get(s.name, 0.0) + s.work
+    values = {"total_work": total}
+    for name in sorted(stage_work):
+        values[f"{name}_share"] = stage_work[name] / total
+    values["other_share"] = (total - sum(stage_work.values())) / total
+    params = {}
+    root = trace.roots()
+    if root:
+        params = {k: root[0].attrs[k]
+                  for k in ("n", "m") if k in root[0].attrs}
+    return [Row(params=params, values=values)]
+
+
+def trace_phase_table(trace) -> list[Row]:
+    """Aggregate every span name into one row: count, work, span deltas,
+    wall time, and share of total work — the full per-phase breakdown."""
+    trace = _as_trace(trace)
+    total, _, _ = trace.totals()
+    agg: dict[str, dict] = {}
+    order: list[str] = []
+    for s in sorted(trace.spans, key=lambda s: s.start_seq):
+        a = agg.get(s.name)
+        if a is None:
+            a = agg[s.name] = {"count": 0, "work": 0.0, "span": 0.0,
+                               "span_model": 0.0, "wall_s": 0.0}
+            order.append(s.name)
+        a["count"] += 1
+        a["work"] += s.work
+        a["span"] += s.span
+        a["span_model"] += s.span_model
+        a["wall_s"] += s.wall
+    rows = []
+    for name in order:
+        a = agg[name]
+        rows.append(Row(
+            params={"phase": name},
+            values={**a,
+                    "work_share": (a["work"] / total) if total else 0.0}))
+    return rows
+
+
+def run_trace_cost_breakdown(path) -> list[Row]:
+    """CLI entry point: A4 breakdown plus the per-phase table for a trace
+    file written by ``repro solve ... --trace PATH``."""
+    trace = _as_trace(path)
+    return trace_cost_breakdown(trace) + trace_phase_table(trace)

@@ -6,6 +6,7 @@ Subcommands
               (prints distances or a negative-cycle certificate).
 ``generate``  synthesise a benchmark workload as DIMACS text.
 ``bench``     run one named experiment from the analysis harness.
+``trace``     per-phase cost breakdown of a ``solve --trace`` JSONL file.
 
 Exit codes (``solve``)
 ----------------------
@@ -22,6 +23,7 @@ Examples::
     python -m repro solve g.gr --source 1
     python -m repro solve g.gr --deadline 30 --checkpoint ck.bin
     python -m repro solve g.gr --checkpoint ck.bin --resume
+    python -m repro solve g.gr --trace t.jsonl && python -m repro trace t.jsonl
     python -m repro bench e9
 """
 
@@ -30,6 +32,7 @@ from __future__ import annotations
 import argparse
 import signal
 import sys
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -48,6 +51,7 @@ from .analysis import (
 from .core import solve_sssp_resilient
 from .graph import generators
 from .graph.io import DimacsError, dumps_dimacs, read_dimacs
+from .observability import Tracer, tracing, write_trace
 from .resilience import (
     BudgetExceededError,
     CancelledError,
@@ -126,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--resume", action="store_true",
                     help="continue from --checkpoint if it exists "
                          "(bit-identical to the uninterrupted solve)")
+    ps.add_argument("--trace", default=None, metavar="PATH",
+                    help="record a structured trace of the solve "
+                         "(per-phase work/span/counters) to PATH")
+    ps.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                    default="jsonl",
+                    help="trace file format: jsonl (repro tooling) or "
+                         "chrome (chrome://tracing / Perfetto)")
 
     pg = sub.add_parser("generate", help="emit a workload as DIMACS")
     pg.add_argument("family", choices=sorted(_GENERATORS))
@@ -137,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     pb = sub.add_parser("bench", help="run one analysis experiment")
     pb.add_argument("experiment", choices=sorted(_BENCHES))
+
+    pt = sub.add_parser("trace",
+                        help="per-phase cost breakdown of a JSONL trace "
+                             "written by solve --trace")
+    pt.add_argument("trace_file", help="JSONL trace file")
 
     pr = sub.add_parser("report",
                         help="rerun every experiment, write a markdown report")
@@ -180,12 +196,17 @@ def cmd_solve(args) -> int:
                 previous_handlers[sig] = signal.signal(sig, _cancel)
             except (ValueError, OSError):  # non-main thread / platform
                 pass
+    tracer = None
+    if args.trace is not None:
+        tracer = Tracer(graph=str(args.graph), source=args.source,
+                        mode=args.mode, seed=args.seed)
     try:
-        res = solve_sssp_resilient(
-            g, source, mode=args.mode, seed=args.seed,
-            max_retries=args.max_retries, max_work=args.max_work,
-            fallback=args.fallback, deadline=args.deadline, token=token,
-            checkpoint_path=args.checkpoint, resume=args.resume)
+        with (tracing(tracer) if tracer is not None else nullcontext()):
+            res = solve_sssp_resilient(
+                g, source, mode=args.mode, seed=args.seed,
+                max_retries=args.max_retries, max_work=args.max_work,
+                fallback=args.fallback, deadline=args.deadline, token=token,
+                checkpoint_path=args.checkpoint, resume=args.resume)
     except InputValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_INVALID_INPUT
@@ -205,6 +226,16 @@ def cmd_solve(args) -> int:
     finally:
         for sig, handler in previous_handlers.items():
             signal.signal(sig, handler)
+        # export even when the solve errored/was interrupted: a partial
+        # trace is exactly what post-mortem analysis needs
+        if tracer is not None:
+            try:
+                write_trace(tracer, args.trace, fmt=args.trace_format)
+                print(f"c trace: {args.trace} ({args.trace_format}, "
+                      f"{len(tracer.spans)} spans)", file=sys.stderr)
+            except OSError as exc:
+                print(f"warning: could not write trace: {exc}",
+                      file=sys.stderr)
     prov = res.provenance
     if prov is not None and prov.used_fallback:
         print(f"c degraded to {prov.engine} ({prov.fallback_reason})",
@@ -242,6 +273,21 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .analysis.tracetables import trace_cost_breakdown, trace_phase_table
+    from .observability import load_trace
+
+    try:
+        trace = load_trace(args.trace_file)
+        breakdown = trace_cost_breakdown(trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    print_table(breakdown, f"cost breakdown: {args.trace_file}")
+    print_table(trace_phase_table(trace), "per-phase totals")
+    return 0
+
+
 def cmd_report(args) -> int:
     from .analysis.report import write_report
 
@@ -258,6 +304,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_generate(args)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     return cmd_bench(args)
 
 

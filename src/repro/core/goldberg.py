@@ -19,6 +19,7 @@ from ..resilience.errors import (
     RetryExhaustedError,
     VerificationError,
 )
+from ..observability.tracer import trace_span
 from ..resilience.guard import Meter
 from ..resilience.retry import AttemptRecord, RetryPolicy
 from ..runtime.metrics import Cost, CostAccumulator
@@ -91,50 +92,62 @@ def one_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
     price = np.zeros(g.n, dtype=np.int64)
     stats = ReweightingStats()
     attempt_log: list[AttemptRecord] = []
-    for it in range(max_iterations):
-        if token is not None:
-            token.check("reweighting:iteration")
-        w_red = w0 + price[g.src] - price[g.dst] if g.m else w0
-        local.charge_cost(model.map(g.m))
-        k_now = count_negative_vertices(g, w_red)
-        if k_now == 0:
-            break
+    with trace_span("reweighting", acc=local, phase="reweighting",
+                    n=g.n, m=g.m) as rwsp:
+        for it in range(max_iterations):
+            if token is not None:
+                token.check("reweighting:iteration")
+            w_red = w0 + price[g.src] - price[g.dst] if g.m else w0
+            local.charge_cost(model.map(g.m))
+            k_now = count_negative_vertices(g, w_red)
+            if k_now == 0:
+                break
 
-        def _attempt(attempt: int, aseed: int,
-                     w_red: np.ndarray = w_red) -> "ImprovementOutcome":
-            out = sqrt_k_improvement(g, w_red, mode=mode,
-                                     assp_engine=assp_engine, eps=eps,
-                                     seed=aseed, acc=local, model=model,
-                                     fault_plan=fault_plan,
-                                     retry_policy=retry_policy, guard=guard)
-            if out.price_delta is not None:
-                local.charge_cost(model.map(g.m))
-                if not is_valid_improvement(g, w_red, out.price_delta):
-                    raise VerificationError(
-                        "price delta violates the τ-improvement properties "
-                        f"(method={out.method!r}, iteration {it})",
-                        stage="sqrt_k_improvement")
-            return out
+            def _attempt(attempt: int, aseed: int,
+                         w_red: np.ndarray = w_red) -> "ImprovementOutcome":
+                out = sqrt_k_improvement(g, w_red, mode=mode,
+                                         assp_engine=assp_engine, eps=eps,
+                                         seed=aseed, acc=local, model=model,
+                                         fault_plan=fault_plan,
+                                         retry_policy=retry_policy,
+                                         guard=guard)
+                if out.price_delta is not None:
+                    local.charge_cost(model.map(g.m))
+                    if not is_valid_improvement(g, w_red, out.price_delta):
+                        raise VerificationError(
+                            "price delta violates the τ-improvement "
+                            f"properties (method={out.method!r}, "
+                            f"iteration {it})",
+                            stage="sqrt_k_improvement")
+                return out
 
-        outcome = policy.run("sqrt_k_improvement", derive_seed(seed, it),
-                             _attempt, log=attempt_log)
-        meter.tick()
-        stats.k_trajectory.append(k_now)
-        stats.methods.append(outcome.method)
-        stats.improved.append(outcome.improved)
-        if outcome.negative_cycle is not None:
-            if acc is not None:
-                acc.charge_cost(local.snapshot())
-                acc.merge_stages_from(local)
-            return ReweightingResult(None, outcome.negative_cycle, stats,
-                                     local.snapshot())
-        price = price + outcome.price_delta
-        local.charge_cost(model.map(g.n))
-    else:
-        raise RetryExhaustedError(
-            "1-reweighting exceeded its iteration budget — this indicates "
-            "an improvement that made no progress (please report)",
-            stage="one_reweighting", attempts=attempt_log)
+            with trace_span("reweighting-iteration", acc=local,
+                            phase="reweighting", iteration=it,
+                            k=k_now) as isp:
+                outcome = policy.run("sqrt_k_improvement",
+                                     derive_seed(seed, it),
+                                     _attempt, log=attempt_log)
+                meter.tick()
+                stats.k_trajectory.append(k_now)
+                stats.methods.append(outcome.method)
+                stats.improved.append(outcome.improved)
+                isp.set(method=outcome.method, improved=outcome.improved,
+                        negative_cycle=outcome.negative_cycle is not None)
+                if outcome.negative_cycle is not None:
+                    if acc is not None:
+                        acc.charge_cost(local.snapshot())
+                        acc.merge_stages_from(local)
+                    return ReweightingResult(None, outcome.negative_cycle,
+                                             stats, local.snapshot())
+                price = price + outcome.price_delta
+                local.charge_cost(model.map(g.n))
+        else:
+            raise RetryExhaustedError(
+                "1-reweighting exceeded its iteration budget — this "
+                "indicates an improvement that made no progress "
+                "(please report)",
+                stage="one_reweighting", attempts=attempt_log)
+        rwsp.set(iterations=stats.iterations)
     if acc is not None:
         acc.charge_cost(local.snapshot())
         acc.merge_stages_from(local)

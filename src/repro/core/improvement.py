@@ -31,6 +31,7 @@ from ..dag01.peeling import dag01_limited_sssp
 from ..graph.digraph import DiGraph
 from ..graph.transform import Condensation, condense, leq_zero_subgraph
 from ..limited.limited import limited_sssp
+from ..observability.tracer import trace_span
 from ..reach.scc import scc, scc_sequential
 from ..resilience.errors import InputValidationError
 from ..resilience.retry import RetryPolicy
@@ -91,11 +92,14 @@ def sqrt_k_improvement(g: DiGraph, w_red: np.ndarray, *,
 
     # ---- Step 1: SCCs of G≤0; intra-component negative edge => cycle ----
     sub0, eids0 = leq_zero_subgraph(g, w_red)
-    with local.stage("scc"):
+    with local.stage("scc"), \
+            trace_span("scc", acc=local, phase="improvement",
+                       n=sub0.n, m=sub0.m, mode=mode) as ssp:
         if mode == "parallel":
             comp = scc(sub0, local, model, seed=seed).comp
         else:
             comp = scc_sequential(sub0).comp
+        ssp.set(components=int(comp.max()) + 1 if len(comp) else 0)
     neg_intra = np.flatnonzero((w_red < 0) & (comp[g.src] == comp[g.dst]))
     if len(neg_intra):
         cycle = _step1_cycle(g, w_red, comp, int(neg_intra[0]))
@@ -115,9 +119,12 @@ def sqrt_k_improvement(g: DiGraph, w_red: np.ndarray, *,
         L += 1  # ⌈√k⌉
 
     # ---- Step 2: distance-limited DAG SSSP over H = ≤0(cg) + supersource --
-    with local.stage("dag01"):
+    with local.stage("dag01"), \
+            trace_span("dag01", acc=local, phase="improvement",
+                       k=k, limit=L, mode=mode) as dsp:
         dist_h, chain = _find_chain_or_levels(cg, L, mode, seed, local,
                                               model, fault_plan, retry_policy)
+        dsp.set(found_chain=chain is not None)
 
     if chain is not None:
         outcome = _step3_chain(g, w_red, cond, cg, chain, dist_h, k, L, mode,
@@ -237,7 +244,9 @@ def _step3_chain(g: DiGraph, w_red: np.ndarray, cond: Condensation,
     w = np.r_[w_hat, super_w]
     g_hat = DiGraph(cg.n + 1, src, dst, w)
 
-    with acc.stage("chain-elimination"):
+    with acc.stage("chain-elimination"), \
+            trace_span("chain-elimination", acc=acc, phase="improvement",
+                       limit=L, mode=mode):
         if mode == "parallel":
             # generous retry budget: a whp-style engine fails a full pass
             # only rarely, but failure injection can need many attempts

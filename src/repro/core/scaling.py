@@ -37,6 +37,7 @@ from ..resilience.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from ..observability.tracer import current_tracer, trace_event, trace_span
 from ..resilience.errors import Certificate, CheckpointError
 from ..resilience.preempt import CancelToken, cancel_scope
 from ..runtime.metrics import Cost, CostAccumulator
@@ -159,67 +160,90 @@ def scaled_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
     price = np.zeros(g.n, dtype=np.int64)
     s = b
     scale_idx = 0
-    if resume and checkpoint_path is not None \
-            and os.path.exists(checkpoint_path):
-        ck = _restore(load_checkpoint(checkpoint_path), g, w, fingerprint,
-                      local, stats, checkpoint_path)
-        if ck.done:
-            # the final scale already completed: the stored potential is
-            # feasible for the exact weights; nothing left to solve
-            price = ck.price
-            if fault_plan is not None:
-                price = fault_plan.corrupt_potential(g.src, g.dst, w, price)
-            if acc is not None:
-                acc.charge_cost(local.snapshot())
-                acc.merge_stages_from(local)
-            return ScalingResult(price, None, stats, local.snapshot())
-        price = 2 * ck.price
-        s = ck.scale // 2
-        scale_idx = ck.scale_idx + 1
-
-    with cancel_scope(token):
-        while True:
-            if token is not None:
-                token.check("scaling:scale-boundary")
-            # effective weights at this scale: ceil(w/s) + price terms; the
-            # invariant guarantees they are >= -1
-            w_eff = _ceil_div(w, s) + price[g.src] - price[g.dst]
-            local.charge_cost(model.map(g.m))
-            res = one_reweighting(g, w_eff, mode=mode,
-                                  assp_engine=assp_engine, eps=eps,
-                                  seed=derive_seed(seed, scale_idx),
-                                  acc=local, model=model,
-                                  fault_plan=fault_plan,
-                                  retry_policy=retry_policy, guard=guard,
-                                  token=token)
-            stats.scales.append(s)
-            stats.per_scale.append(res.stats)
-            if res.negative_cycle is not None:
+    with trace_span("scaling", acc=local, phase="scaling",
+                    b=b, n=g.n, m=g.m) as scsp:
+        if resume and checkpoint_path is not None \
+                and os.path.exists(checkpoint_path):
+            with trace_span("checkpoint-restore", acc=local,
+                            phase="scaling") as rsp:
+                ck = _restore(load_checkpoint(checkpoint_path), g, w,
+                              fingerprint, local, stats, checkpoint_path)
+                rsp.set(scale=ck.scale, scale_idx=ck.scale_idx,
+                        done=ck.done)
+            tr = current_tracer()
+            if tr is not None:
+                tr.mark_resumed(ck.trace_cursor)
+            if ck.done:
+                # the final scale already completed: the stored potential
+                # is feasible for the exact weights; nothing left to solve
+                price = ck.price
+                if fault_plan is not None:
+                    price = fault_plan.corrupt_potential(g.src, g.dst, w,
+                                                         price)
                 if acc is not None:
                     acc.charge_cost(local.snapshot())
                     acc.merge_stages_from(local)
-                return ScalingResult(None, res.negative_cycle, stats,
-                                     local.snapshot())
-            price = price + res.price
-            if checkpoint_path is not None:
-                ck = ScaleCheckpoint(
-                    fingerprint=fingerprint, seed=int(seed), scale_b=b,
-                    scale=s, scale_idx=scale_idx, done=(s == 1),
-                    price=price, cost=(local.work, local.span,
-                                       local.span_model),
-                    scales=list(stats.scales),
-                    per_scale=[{"k_trajectory": ps.k_trajectory,
-                                "methods": ps.methods,
-                                "improved": ps.improved}
-                               for ps in stats.per_scale])
-                save_checkpoint(checkpoint_path, ck)
-                if on_checkpoint is not None:
-                    on_checkpoint(ck)
-            if s == 1:
-                break
-            price = 2 * price
-            s //= 2
-            scale_idx += 1
+                return ScalingResult(price, None, stats, local.snapshot())
+            price = 2 * ck.price
+            s = ck.scale // 2
+            scale_idx = ck.scale_idx + 1
+
+        with cancel_scope(token):
+            while True:
+                if token is not None:
+                    token.check("scaling:scale-boundary")
+                # the "scale" span closes before the checkpoint write below
+                # so the checkpointed trace cursor covers the whole scale
+                # subtree (export.stitch_traces relies on this)
+                with trace_span("scale", acc=local, phase="scaling",
+                                scale=s, index=scale_idx) as ssp:
+                    # effective weights at this scale: ceil(w/s) + price
+                    # terms; the invariant guarantees they are >= -1
+                    w_eff = _ceil_div(w, s) + price[g.src] - price[g.dst]
+                    local.charge_cost(model.map(g.m))
+                    res = one_reweighting(g, w_eff, mode=mode,
+                                          assp_engine=assp_engine, eps=eps,
+                                          seed=derive_seed(seed, scale_idx),
+                                          acc=local, model=model,
+                                          fault_plan=fault_plan,
+                                          retry_policy=retry_policy,
+                                          guard=guard, token=token)
+                    stats.scales.append(s)
+                    stats.per_scale.append(res.stats)
+                    ssp.set(iterations=res.stats.iterations,
+                            negative_cycle=res.negative_cycle is not None)
+                    if res.negative_cycle is not None:
+                        if acc is not None:
+                            acc.charge_cost(local.snapshot())
+                            acc.merge_stages_from(local)
+                        return ScalingResult(None, res.negative_cycle,
+                                             stats, local.snapshot())
+                    price = price + res.price
+                if checkpoint_path is not None:
+                    tr = current_tracer()
+                    ck = ScaleCheckpoint(
+                        fingerprint=fingerprint, seed=int(seed), scale_b=b,
+                        scale=s, scale_idx=scale_idx, done=(s == 1),
+                        price=price, cost=(local.work, local.span,
+                                           local.span_model),
+                        scales=list(stats.scales),
+                        per_scale=[{"k_trajectory": ps.k_trajectory,
+                                    "methods": ps.methods,
+                                    "improved": ps.improved}
+                                   for ps in stats.per_scale],
+                        trace_cursor=(tr.cursor() if tr is not None else 0))
+                    save_checkpoint(checkpoint_path, ck)
+                    trace_event("checkpoint", scale=s, scale_idx=scale_idx,
+                                done=(s == 1), trace_cursor=ck.trace_cursor)
+                    if on_checkpoint is not None:
+                        on_checkpoint(ck)
+                if s == 1:
+                    break
+                price = 2 * price
+                s //= 2
+                scale_idx += 1
+        scsp.set(scales=len(stats.scales),
+                 iterations=stats.total_iterations)
     if fault_plan is not None:
         price = fault_plan.corrupt_potential(g.src, g.dst, w, price)
     if acc is not None:

@@ -35,6 +35,7 @@ from ..resilience.errors import (
     RetryExhaustedError,
     VerificationError,
 )
+from ..observability.tracer import trace_event, trace_span
 from ..resilience.guard import BudgetGuard
 from ..resilience.preempt import CancelToken, Deadline, cancel_scope, make_token
 from ..resilience.retry import AttemptRecord, RetryPolicy, SolveProvenance
@@ -111,44 +112,53 @@ def solve_sssp(g: DiGraph, source: int, *,
     if not (0 <= source < g.n):
         raise InputValidationError("source out of range")
     local = CostAccumulator()
-    scal = scaled_reweighting(g, mode=mode, assp_engine=assp_engine,
-                              eps=eps, seed=seed, acc=local, model=model,
-                              fault_plan=fault_plan,
-                              retry_policy=retry_policy, guard=guard,
-                              token=token, checkpoint_path=checkpoint_path,
-                              resume=resume, on_checkpoint=on_checkpoint)
-    if scal.negative_cycle is not None:
-        cert = Certificate("negative_cycle", cycle=list(scal.negative_cycle))
+    with trace_span("solve", acc=local, phase="solve", mode=mode,
+                    n=g.n, m=g.m, source=source, seed=seed) as sp:
+        scal = scaled_reweighting(g, mode=mode, assp_engine=assp_engine,
+                                  eps=eps, seed=seed, acc=local, model=model,
+                                  fault_plan=fault_plan,
+                                  retry_policy=retry_policy, guard=guard,
+                                  token=token, checkpoint_path=checkpoint_path,
+                                  resume=resume, on_checkpoint=on_checkpoint)
+        if scal.negative_cycle is not None:
+            cert = Certificate("negative_cycle",
+                               cycle=list(scal.negative_cycle))
+            if check_certificates and not cert.verify(g):
+                raise VerificationError(
+                    "internal error: invalid cycle certificate",
+                    stage="solve_sssp")
+            sp.set(certificate=cert.kind,
+                   cycle_length=len(scal.negative_cycle))
+            if acc is not None:
+                acc.charge_cost(local.snapshot())
+            return SsspResult(source, None, None, None, scal.negative_cycle,
+                              scal.stats, local.snapshot(), certificate=cert)
+
+        price = scal.price
+        cert = Certificate("price", price=price)
         if check_certificates and not cert.verify(g):
             raise VerificationError(
-                "internal error: invalid cycle certificate",
+                "internal error: infeasible price function",
                 stage="solve_sssp")
+        sp.set(certificate=cert.kind)
+        if token is not None:
+            token.check("sssp:final-dijkstra")
+        w_red = g.w + price[g.src] - price[g.dst] if g.m else g.w
+        local.charge_cost(model.map(g.m))
+        with local.stage("final-dijkstra"), \
+                trace_span("final-dijkstra", acc=local, phase="solve") as dsp:
+            dj = dijkstra(g, source, weights=w_red, model=model)
+            local.charge_cost(dj.cost)
+            dsp.count("settled", int(np.isfinite(dj.dist).sum()))
+        dist = dj.dist.copy()
+        finite = np.isfinite(dist)
+        # undo the reweighting: dist_w(s,v) = dist_red(s,v) + p(v) − p(s)
+        dist[finite] += price[np.flatnonzero(finite)] - price[source]
         if acc is not None:
             acc.charge_cost(local.snapshot())
-        return SsspResult(source, None, None, None, scal.negative_cycle,
-                          scal.stats, local.snapshot(), certificate=cert)
-
-    price = scal.price
-    cert = Certificate("price", price=price)
-    if check_certificates and not cert.verify(g):
-        raise VerificationError(
-            "internal error: infeasible price function", stage="solve_sssp")
-    if token is not None:
-        token.check("sssp:final-dijkstra")
-    w_red = g.w + price[g.src] - price[g.dst] if g.m else g.w
-    local.charge_cost(model.map(g.m))
-    with local.stage("final-dijkstra"):
-        dj = dijkstra(g, source, weights=w_red, model=model)
-        local.charge_cost(dj.cost)
-    dist = dj.dist.copy()
-    finite = np.isfinite(dist)
-    # undo the reweighting: dist_w(s,v) = dist_red(s,v) + p(v) − p(s)
-    dist[finite] += price[np.flatnonzero(finite)] - price[source]
-    if acc is not None:
-        acc.charge_cost(local.snapshot())
-        acc.merge_stages_from(local)
-    return SsspResult(source, dist, dj.parent, price, None, scal.stats,
-                      local.snapshot(), certificate=cert)
+            acc.merge_stages_from(local)
+        return SsspResult(source, dist, dj.parent, price, None, scal.stats,
+                          local.snapshot(), certificate=cert)
 
 
 def solve_sssp_resilient(g: DiGraph, source: int, *,
@@ -220,7 +230,9 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
         aseed = policy.attempt_seed(seed, attempt)
         primary = attempt == 0
         try:
-            with cancel_scope(token):
+            with cancel_scope(token), \
+                    trace_span("attempt", phase="resilience",
+                               attempt=attempt, seed=aseed):
                 res = solve_sssp(
                     g, source, mode=mode, assp_engine=assp_engine,
                     eps=eps, seed=aseed, acc=acc, model=model,
@@ -240,6 +252,8 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
                                           False,
                                           f"{type(exc).__name__}: {exc}"))
             failure = exc
+            trace_event("retry", stage="solve_sssp", attempt=attempt,
+                        error=type(exc).__name__)
             continue
         except BudgetExceededError as exc:
             attempts.append(AttemptRecord("solve_sssp", attempt, aseed,
@@ -266,6 +280,8 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
         reason = f"{type(failure).__name__}: {failure}"
     else:
         reason = "retry budget exhausted"
+    trace_event("fallback", engine="bellman_ford", reason=reason,
+                attempts=len(attempts))
     res = _bellman_ford_fallback(g, source, model, acc)
     res.provenance = SolveProvenance(
         engine="fallback:bellman_ford", attempts=attempts,
@@ -283,7 +299,9 @@ def _bellman_ford_fallback(g: DiGraph, source: int, model: CostModel,
     so the fallback result is exactly as checkable as the primary one.
     """
     local = CostAccumulator()
-    with local.stage("fallback-bellman-ford"):
+    with local.stage("fallback-bellman-ford"), \
+            trace_span("fallback-bellman-ford", acc=local,
+                       phase="resilience", n=g.n, m=g.m) as sp:
         bf = bellman_ford(g, source, model=model)
         local.charge_cost(bf.cost)
         if bf.negative_cycle is None:
@@ -293,6 +311,7 @@ def _bellman_ford_fallback(g: DiGraph, source: int, model: CostModel,
             price = pot.price
         else:
             cycle, price = bf.negative_cycle, None
+        sp.set(negative_cycle=cycle is not None)
     if acc is not None:
         acc.charge_cost(local.snapshot())
         acc.merge_stages_from(local)

@@ -25,6 +25,7 @@ import numpy as np
 from ..graph.csr import in_edge_slots
 from ..graph.digraph import DiGraph
 from ..graph.validate import is_dag
+from ..observability.tracer import trace_span
 from ..reach.multisource import multisource_reachability
 from ..resilience.errors import InputValidationError, VerificationError
 from ..runtime.metrics import Cost, CostAccumulator
@@ -118,64 +119,75 @@ def dag01_limited_sssp(g: DiGraph, source: int, limit: int, *,
             raise InputValidationError("graph must be acyclic")
 
     local = CostAccumulator()
-    # §3 assumes every vertex is reachable from s; restrict to the reachable
-    # induced subgraph (one extra black-box call, as the paper suggests).
-    reach = multisource_reachability(g, np.array([source]), local, model)
-    reachable = np.flatnonzero(reach.pi >= 0)
-    dist = np.full(g.n, np.inf)
-    parent_edge = np.full((g.n, 2), NO_EDGE, dtype=np.int64)
-    priorities_full = np.zeros(g.n, dtype=np.int64)
-    label_changes_full = np.zeros(g.n, dtype=np.int64)
+    with trace_span("dag01-peeling", acc=local, phase="dag01",
+                    n=g.n, m=g.m, limit=limit) as psp:
+        # §3 assumes every vertex is reachable from s; restrict to the
+        # reachable induced subgraph (one extra black-box call, as the
+        # paper suggests).
+        reach = multisource_reachability(g, np.array([source]), local, model)
+        reachable = np.flatnonzero(reach.pi >= 0)
+        dist = np.full(g.n, np.inf)
+        parent_edge = np.full((g.n, 2), NO_EDGE, dtype=np.int64)
+        priorities_full = np.zeros(g.n, dtype=np.int64)
+        label_changes_full = np.zeros(g.n, dtype=np.int64)
 
-    if len(reachable) == g.n:
-        sub, ids = g, np.arange(g.n, dtype=np.int64)
-        sub_source = source
-    else:
-        sub, ids = g.induced_subgraph(reachable)
-        local.charge_cost(model.pack(g.m))
-        sub_source = int(np.searchsorted(ids, source))
+        if len(reachable) == g.n:
+            sub, ids = g, np.arange(g.n, dtype=np.int64)
+            sub_source = source
+        else:
+            sub, ids = g.induced_subgraph(reachable)
+            local.charge_cost(model.pack(g.m))
+            sub_source = int(np.searchsorted(ids, source))
 
-    rng = make_rng(seed)
-    if priorities is None:
-        pri = geometric_priorities(sub.n, rng)
-    else:
-        pri = np.asarray(priorities, dtype=np.int64)[ids]
-        if len(pri) != sub.n:
-            raise InputValidationError("priorities must cover every vertex")
-    if fault_plan is not None:
-        pri = fault_plan.perturb_priorities(pri)
-    if sub.n and (pri.min() < 1 or pri.max() > sub.n):
-        raise VerificationError(
-            "peeling priorities violate the §3.1 contract "
-            f"(range [{int(pri.min())}, {int(pri.max())}], need [1, {sub.n}])",
-            stage="dag01_peeling")
-    local.charge_cost(model.map(sub.n))
+        rng = make_rng(seed)
+        if priorities is None:
+            pri = geometric_priorities(sub.n, rng)
+        else:
+            pri = np.asarray(priorities, dtype=np.int64)[ids]
+            if len(pri) != sub.n:
+                raise InputValidationError(
+                    "priorities must cover every vertex")
+        if fault_plan is not None:
+            pri = fault_plan.perturb_priorities(pri)
+        if sub.n and (pri.min() < 1 or pri.max() > sub.n):
+            raise VerificationError(
+                "peeling priorities violate the §3.1 contract "
+                f"(range [{int(pri.min())}, {int(pri.max())}], "
+                f"need [1, {sub.n}])",
+                stage="dag01_peeling")
+        local.charge_cost(model.map(sub.n))
 
-    st = _State(
-        g=sub,
-        pri=pri,
-        live=np.ones(sub.n, dtype=bool),
-        label_eid=np.full(sub.n, NO_EDGE, dtype=np.int64),
-        parent_eid=np.full(sub.n, NO_EDGE, dtype=np.int64),
-        sent=SetVector(sub.n),
-        acc=local,
-        model=model,
-        label_changes=np.zeros(sub.n, dtype=np.int64),
-    )
+        st = _State(
+            g=sub,
+            pri=pri,
+            live=np.ones(sub.n, dtype=bool),
+            label_eid=np.full(sub.n, NO_EDGE, dtype=np.int64),
+            parent_eid=np.full(sub.n, NO_EDGE, dtype=np.int64),
+            sent=SetVector(sub.n),
+            acc=local,
+            model=model,
+            label_changes=np.zeros(sub.n, dtype=np.int64),
+        )
 
-    sub_dist = _peel(st, sub_source, limit)
+        sub_dist = _peel(st, sub_source, limit)
 
-    dist[ids] = sub_dist
-    has_parent = st.parent_eid != NO_EDGE
-    pe = st.parent_eid[has_parent]
-    parent_edge[ids[has_parent], 0] = ids[sub.src[pe]]
-    parent_edge[ids[has_parent], 1] = ids[sub.dst[pe]]
-    priorities_full[ids] = pri
-    label_changes_full[ids] = st.label_changes
+        dist[ids] = sub_dist
+        has_parent = st.parent_eid != NO_EDGE
+        pe = st.parent_eid[has_parent]
+        parent_edge[ids[has_parent], 0] = ids[sub.src[pe]]
+        parent_edge[ids[has_parent], 1] = ids[sub.dst[pe]]
+        priorities_full[ids] = pri
+        label_changes_full[ids] = st.label_changes
+        rounds = int(min(limit, -sub_dist[np.isfinite(sub_dist)].min()
+                         if np.isfinite(sub_dist).any() else 0))
+        psp.set(rounds=rounds)
+        psp.count("label_changes", int(st.label_changes.sum()))
+        psp.count("propagate_calls", st.propagate_calls)
+        psp.count("propagate_nodes", st.propagate_node_total)
+        psp.count("reach_calls", st.reach_calls)
+        psp.count("reach_nodes", st.reach_node_total)
     if acc is not None:
         acc.charge_cost(local.snapshot())
-    rounds = int(min(limit, -sub_dist[np.isfinite(sub_dist)].min()
-                     if np.isfinite(sub_dist).any() else 0))
     return Dag01Result(
         dist=dist,
         parent_edge=parent_edge,
@@ -202,30 +214,34 @@ def _peel(st: _State, source: int, limit: int) -> np.ndarray:
     for i in range(limit + 1):
         if len(frontier) == 0:
             break
-        # R = ∪_{u∈F} SentLabel(u), filtered to labels actually broken by F
-        candidates = st.sent.gather(frontier, acc, model)
-        st.sent.clear_many(frontier, acc, model)
-        acc.charge_cost(model.map(len(candidates)))
-        in_f = np.zeros(g.n, dtype=bool)
-        in_f[frontier] = True
-        if len(candidates):
-            cand_heads = g.src[st.label_eid[candidates].clip(min=0)]
-            broken = (st.label_eid[candidates] != NO_EDGE) & \
-                in_f[cand_heads] & st.live[candidates]
-            invalid = np.unique(candidates[broken])
-        else:
-            invalid = candidates
-        # invalidate labels of R
-        st.label_eid[invalid] = NO_EDGE
-        # finalise the frontier at distance −i
-        dist[frontier] = -i
-        st.live[frontier] = False
-        acc.charge_cost(model.map(len(frontier)))
-        if i == limit:
-            break
-        _propagate(st, invalid)
-        frontier = invalid[st.label_eid[invalid] == NO_EDGE]
-        acc.charge_cost(model.pack(len(invalid)))
+        with trace_span("peel-round", acc=acc, phase="dag01",
+                        d=i, frontier=len(frontier)) as rsp:
+            # R = ∪_{u∈F} SentLabel(u), filtered to labels broken by F
+            candidates = st.sent.gather(frontier, acc, model)
+            st.sent.clear_many(frontier, acc, model)
+            acc.charge_cost(model.map(len(candidates)))
+            in_f = np.zeros(g.n, dtype=bool)
+            in_f[frontier] = True
+            if len(candidates):
+                cand_heads = g.src[st.label_eid[candidates].clip(min=0)]
+                broken = (st.label_eid[candidates] != NO_EDGE) & \
+                    in_f[cand_heads] & st.live[candidates]
+                invalid = np.unique(candidates[broken])
+            else:
+                invalid = candidates
+            # invalidate labels of R
+            st.label_eid[invalid] = NO_EDGE
+            # finalise the frontier at distance −i
+            dist[frontier] = -i
+            st.live[frontier] = False
+            acc.charge_cost(model.map(len(frontier)))
+            rsp.count("finalized", len(frontier))
+            rsp.count("invalidated", len(invalid))
+            if i == limit:
+                break
+            _propagate(st, invalid)
+            frontier = invalid[st.label_eid[invalid] == NO_EDGE]
+            acc.charge_cost(model.pack(len(invalid)))
     return dist
 
 

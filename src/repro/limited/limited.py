@@ -32,6 +32,7 @@ import numpy as np
 from ..assp.engines import ExactAssp, FaultInjectingAssp
 from ..graph.csr import in_edge_slots
 from ..graph.digraph import DiGraph
+from ..observability.tracer import trace_span
 from ..resilience.errors import InputValidationError, RetryExhaustedError
 from ..resilience.errors import VerificationError  # noqa: F401 (re-export)
 from ..resilience.guard import Meter
@@ -99,30 +100,37 @@ def limited_sssp(g: DiGraph, source: int, limit: int, *,
     local = CostAccumulator()
     meter = Meter(guard, local)
     attempts: list[AttemptRecord] = []
-    for attempt in range(policy.max_attempts):
-        dist, table, calls, node_total = _limited_pass(
-            g, source, limit, engine, eps, local, model)
-        ok = verify_limited_distances(g, source, dist, limit,
-                                      acc=local, model=model)
-        meter.tick()
-        attempts.append(AttemptRecord("limited_sssp", attempt, 0, bool(ok),
-                                      None if ok else "Lemma-10 check failed"))
-        if ok:
-            parent = shortest_path_tree(g, source, dist,
-                                        acc=local, model=model)
-            if acc is not None:
-                acc.charge_cost(local.snapshot())
-            return LimitedSpResult(
-                dist=dist, parent=parent, limit=limit,
-                refine_calls=calls, refine_node_total=node_total,
-                interval_additions=table.additions, retries=attempt,
-                verified=True, cost=local.snapshot())
-    if acc is not None:
-        acc.charge_cost(local.snapshot())
-    raise RetryExhaustedError(
-        f"limited_sssp failed verification {policy.max_attempts} times "
-        f"(engine={getattr(engine, 'name', engine)!r})",
-        stage="limited_sssp", attempts=attempts)
+    with trace_span("limited-sssp", acc=local, phase="limited",
+                    n=g.n, m=g.m, limit=limit) as lsp:
+        for attempt in range(policy.max_attempts):
+            dist, table, calls, node_total = _limited_pass(
+                g, source, limit, engine, eps, local, model)
+            ok = verify_limited_distances(g, source, dist, limit,
+                                          acc=local, model=model)
+            meter.tick()
+            attempts.append(AttemptRecord(
+                "limited_sssp", attempt, 0, bool(ok),
+                None if ok else "Lemma-10 check failed"))
+            if ok:
+                parent = shortest_path_tree(g, source, dist,
+                                            acc=local, model=model)
+                lsp.set(retries=attempt, verified=True)
+                lsp.count("refine_calls", calls)
+                lsp.count("refine_nodes", node_total)
+                if acc is not None:
+                    acc.charge_cost(local.snapshot())
+                return LimitedSpResult(
+                    dist=dist, parent=parent, limit=limit,
+                    refine_calls=calls, refine_node_total=node_total,
+                    interval_additions=table.additions, retries=attempt,
+                    verified=True, cost=local.snapshot())
+        lsp.set(retries=policy.max_attempts, verified=False)
+        if acc is not None:
+            acc.charge_cost(local.snapshot())
+        raise RetryExhaustedError(
+            f"limited_sssp failed verification {policy.max_attempts} times "
+            f"(engine={getattr(engine, 'name', engine)!r})",
+            stage="limited_sssp", attempts=attempts)
 
 
 def _limited_pass(g: DiGraph, source: int, limit: int, engine, eps: float,
@@ -175,36 +183,42 @@ def _refine(g: DiGraph, source: int, d: int, size: int, dist: np.ndarray,
     if len(vprime) == 0:
         return 0, 0
 
-    d_shift = _run_assp_on_shifted(g, d, vprime, dist, finalized, engine,
-                                   eps, acc, model)
+    with trace_span("refine", acc=acc, phase="limited",
+                    d=d, size=size) as rsp:
+        rsp.count("nodes", len(vprime))
+        d_shift = _run_assp_on_shifted(g, d, vprime, dist, finalized,
+                                       engine, eps, acc, model)
 
-    # finalise vertices whose shifted distance is 0 (they sit at distance d)
-    zero = d_shift == 0.0
-    done = vprime[zero]
-    dist[done] = float(d)
-    finalized[done] = True
-    table.remove(done)
-    acc.charge_cost(model.map(len(vprime)))
+        # finalise vertices whose shifted distance is 0 (distance d exactly)
+        zero = d_shift == 0.0
+        done = vprime[zero]
+        dist[done] = float(d)
+        finalized[done] = True
+        table.remove(done)
+        acc.charge_cost(model.map(len(vprime)))
+        rsp.count("finalized", len(done))
 
-    # reassign only vertices whose interval is exactly [d, d+size)
-    mine = (table.start[vprime] == d) & (table.size[vprime] == size) & ~zero
-    movers = vprime[mine]
-    dm = d_shift[mine]
-    if len(movers):
-        if size <= 2:
-            # integer-weight collapse (see module docstring): everything
-            # unfinalised in [d, d+1) or [d, d+2) has distance d+1 barring
-            # engine failure; park it in [d+1, d+2)
-            table.assign(movers, d + 1, 1, acc, model)
-        else:
-            half = size // 2
-            quarter = size // 4
-            lo = dm < half
-            mid = ~lo & (dm < 3 * quarter)
-            hi = ~lo & ~mid
-            table.assign(movers[lo], d, half, acc, model)
-            table.assign(movers[mid], d + quarter, half, acc, model)
-            table.assign(movers[hi], d + half, half, acc, model)
+        # reassign only vertices whose interval is exactly [d, d+size)
+        mine = (table.start[vprime] == d) & (table.size[vprime] == size) \
+            & ~zero
+        movers = vprime[mine]
+        dm = d_shift[mine]
+        rsp.count("reassigned", len(movers))
+        if len(movers):
+            if size <= 2:
+                # integer-weight collapse (see module docstring): everything
+                # unfinalised in [d, d+1) or [d, d+2) has distance d+1
+                # barring engine failure; park it in [d+1, d+2)
+                table.assign(movers, d + 1, 1, acc, model)
+            else:
+                half = size // 2
+                quarter = size // 4
+                lo = dm < half
+                mid = ~lo & (dm < 3 * quarter)
+                hi = ~lo & ~mid
+                table.assign(movers[lo], d, half, acc, model)
+                table.assign(movers[mid], d + quarter, half, acc, model)
+                table.assign(movers[hi], d + half, half, acc, model)
     return 1, len(vprime)
 
 

@@ -1,0 +1,67 @@
+"""Observability: structured tracing & telemetry for the work-span runtime.
+
+Two modules (DESIGN.md "Observability"):
+
+* :mod:`~repro.observability.tracer` — :class:`Tracer` / :class:`Span`,
+  the ambient-tracer installation (:func:`tracing`) and the no-op-when-off
+  instrumentation helpers (:func:`trace_span`, :func:`trace_event`) every
+  solver phase calls;
+* :mod:`~repro.observability.export` — JSONL and Chrome-trace (Perfetto)
+  exporters, :func:`load_trace`, and the :func:`phase_sequence` /
+  :func:`stitch_traces` tooling the golden-trace and preemption tests
+  build on.
+
+Typical use::
+
+    from repro.observability import Tracer, tracing, write_trace
+
+    tracer = Tracer(seed=0, n=g.n, m=g.m)
+    with tracing(tracer):
+        res = solve_sssp(g, 0, seed=0)
+    write_trace(tracer, "solve.trace.jsonl")            # JSONL
+    write_trace(tracer, "solve.json", fmt="chrome")     # Perfetto
+"""
+
+from .tracer import (
+    NOOP_SPAN,
+    Span,
+    SpanHandle,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    trace_event,
+    trace_span,
+    tracing,
+)
+from .export import (
+    PHASE_SPAN_NAMES,
+    TRACE_FORMAT_VERSION,
+    Trace,
+    load_trace,
+    phase_sequence,
+    stitch_traces,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+
+__all__ = [
+    "Span",
+    "SpanHandle",
+    "TraceEvent",
+    "Tracer",
+    "NOOP_SPAN",
+    "current_tracer",
+    "tracing",
+    "trace_span",
+    "trace_event",
+    "Trace",
+    "TRACE_FORMAT_VERSION",
+    "PHASE_SPAN_NAMES",
+    "write_trace",
+    "write_jsonl",
+    "write_chrome_trace",
+    "load_trace",
+    "phase_sequence",
+    "stitch_traces",
+]

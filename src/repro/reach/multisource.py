@@ -21,6 +21,7 @@ import numpy as np
 
 from ..graph.csr import out_edge_slots
 from ..graph.digraph import DiGraph
+from ..observability.tracer import trace_span
 from ..runtime.metrics import Cost, CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
 
@@ -48,28 +49,35 @@ def multisource_reachability(g: DiGraph, sources: np.ndarray,
     if len(sources) and (sources[0] < 0 or sources[-1] >= g.n):
         raise ValueError("source out of range")
     local = CostAccumulator()
-    pi = np.full(g.n, NO_SOURCE, dtype=np.int64)
-    pi[sources] = sources
-    frontier = sources
-    rounds = 0
-    while len(frontier):
-        rounds += 1
-        slots = out_edge_slots(g, frontier)
-        local.charge_cost(model.bfs_round(len(slots), g.n))
-        if len(slots) == 0:
-            break
-        targets = g.indices[slots]
-        undiscovered = pi[targets] == NO_SOURCE
-        newly = targets[undiscovered]
-        # forward any reaching source along the edge (last write wins — any
-        # single source satisfies the contract)
-        pi[newly] = pi[g.src[slots][undiscovered]]
-        frontier = np.unique(newly)
-        local.charge_cost(model.pack(len(targets)))
-    if acc is not None:
-        acc.charge(local.work,
-                   span=local.span,
-                   span_model=model.oracle_span(g.n))
+    # the span binds to the *caller's* accumulator and closes after the
+    # fold below, so its span_model delta is the substituted black-box
+    # bound (oracle_span), not the measured BFS rounds
+    with trace_span("reach", acc=acc if acc is not None else local,
+                    phase="reach", n=g.n, m=g.m,
+                    sources=len(sources)) as rsp:
+        pi = np.full(g.n, NO_SOURCE, dtype=np.int64)
+        pi[sources] = sources
+        frontier = sources
+        rounds = 0
+        while len(frontier):
+            rounds += 1
+            slots = out_edge_slots(g, frontier)
+            local.charge_cost(model.bfs_round(len(slots), g.n))
+            if len(slots) == 0:
+                break
+            targets = g.indices[slots]
+            undiscovered = pi[targets] == NO_SOURCE
+            newly = targets[undiscovered]
+            # forward any reaching source along the edge (last write wins —
+            # any single source satisfies the contract)
+            pi[newly] = pi[g.src[slots][undiscovered]]
+            frontier = np.unique(newly)
+            local.charge_cost(model.pack(len(targets)))
+        if acc is not None:
+            acc.charge(local.work,
+                       span=local.span,
+                       span_model=model.oracle_span(g.n))
+        rsp.count("rounds", rounds)
     return ReachResult(pi, rounds, Cost(local.work, local.span,
                                         model.oracle_span(g.n)))
 
@@ -91,27 +99,31 @@ def multisource_reachability_min(g: DiGraph, sources: np.ndarray,
     if len(sources) and (sources[0] < 0 or sources[-1] >= g.n):
         raise ValueError("source out of range")
     local = CostAccumulator()
-    label = np.full(g.n, np.iinfo(np.int64).max, dtype=np.int64)
-    label[sources] = sources
-    frontier = sources
-    rounds = 0
-    while len(frontier):
-        rounds += 1
-        slots = out_edge_slots(g, frontier)
-        local.charge_cost(model.bfs_round(len(slots), g.n))
-        if len(slots) == 0:
-            break
-        targets = g.indices[slots]
-        cand = label[g.src[slots]]
-        old = label[targets]
-        np.minimum.at(label, targets, cand)
-        improved = label[targets] < old
-        frontier = np.unique(targets[improved])
-        local.charge_cost(model.pack(len(targets)))
-    pi = np.where(label == np.iinfo(np.int64).max, NO_SOURCE, label)
-    if acc is not None:
-        acc.charge(local.work, span=local.span,
-                   span_model=model.oracle_span(g.n))
+    with trace_span("reach", acc=acc if acc is not None else local,
+                    phase="reach", n=g.n, m=g.m, sources=len(sources),
+                    variant="min") as rsp:
+        label = np.full(g.n, np.iinfo(np.int64).max, dtype=np.int64)
+        label[sources] = sources
+        frontier = sources
+        rounds = 0
+        while len(frontier):
+            rounds += 1
+            slots = out_edge_slots(g, frontier)
+            local.charge_cost(model.bfs_round(len(slots), g.n))
+            if len(slots) == 0:
+                break
+            targets = g.indices[slots]
+            cand = label[g.src[slots]]
+            old = label[targets]
+            np.minimum.at(label, targets, cand)
+            improved = label[targets] < old
+            frontier = np.unique(targets[improved])
+            local.charge_cost(model.pack(len(targets)))
+        pi = np.where(label == np.iinfo(np.int64).max, NO_SOURCE, label)
+        if acc is not None:
+            acc.charge(local.work, span=local.span,
+                       span_model=model.oracle_span(g.n))
+        rsp.count("rounds", rounds)
     return ReachResult(pi, rounds, Cost(local.work, local.span,
                                         model.oracle_span(g.n)))
 

@@ -88,6 +88,8 @@ class ScaleCheckpoint:
     cost: tuple                  # (work, span, span_model) accumulated
     scales: list = field(default_factory=list)      # ScalingStats.scales
     per_scale: list = field(default_factory=list)   # per-scale stat dicts
+    trace_cursor: int = 0        # closed-span count of the ambient tracer
+                                 # at write time (0 when tracing was off)
 
 
 def _encode(ck: ScaleCheckpoint) -> bytes:
@@ -105,6 +107,7 @@ def _encode(ck: ScaleCheckpoint) -> bytes:
         "cost": [float(c) for c in ck.cost],
         "scales": [int(s) for s in ck.scales],
         "per_scale": ck.per_scale,
+        "trace_cursor": int(ck.trace_cursor),
     }
     return json.dumps(payload, separators=(",", ":")).encode("utf-8")
 
@@ -148,6 +151,9 @@ def _decode(payload: bytes, path) -> ScaleCheckpoint:
             cost=cost,
             scales=[int(s) for s in obj["scales"]],
             per_scale=per_scale,
+            # absent in pre-observability checkpoints: cursor 0 means "no
+            # durable trace prefix", which stitches to the resumed trace
+            trace_cursor=int(obj.get("trace_cursor", 0)),
         )
     except CheckpointError:
         raise

@@ -32,6 +32,7 @@ import threading
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable
 
+from ..observability.tracer import current_tracer, trace_span
 from ..resilience.preempt import CancelToken, current_token
 
 
@@ -77,7 +78,10 @@ class ForkJoinPool:
         if n <= 0:
             return
         if self._pool is None or n <= grain:
-            body(0, n)
+            with trace_span("parallel-for", phase="runtime", n=n,
+                            blocks=1, workers=1) as psp:
+                psp.count("blocks_run", 1)
+                body(0, n)
             return
         # a few blocks per worker (not one): stragglers rebalance, and a
         # failure or cancellation can actually cancel a queued tail
@@ -91,24 +95,41 @@ class ForkJoinPool:
                 token.check("parallel_for:block")
                 body(lo, hi)
 
-        futures = []
-        for lo in range(0, n, step):
-            if token is not None and token.cancelled:
-                break  # stop dispatching; drain what is already in flight
-            futures.append(self._pool.submit(run_block, lo, min(lo + step, n)))
+        with trace_span("parallel-for", phase="runtime", n=n, blocks=blocks,
+                        workers=self.n_workers) as psp:
+            tracer = current_tracer()
+            if tracer is not None:
+                # worker threads record detached block spans under the
+                # dispatch span (they must not touch the main parent stack)
+                dispatch_sid = psp.span.sid
+                inner_block = run_block
 
-        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-        failed = any(not f.cancelled() and f.exception() is not None
-                     for f in done)
-        if failed or not_done:
-            for f in not_done:
-                f.cancel()
-            wait(futures)  # drain blocks that were already running
-        for f in futures:  # re-raise the first failure in submission order
-            if not f.cancelled() and f.exception() is not None:
-                raise f.exception()
-        if token is not None:
-            token.check("parallel_for:join")
+                def run_block(lo: int, hi: int) -> None:
+                    with tracer.span("parallel-for-block",
+                                     parent=dispatch_sid, detached=True,
+                                     phase="runtime", lo=lo, hi=hi):
+                        inner_block(lo, hi)
+
+            futures = []
+            for lo in range(0, n, step):
+                if token is not None and token.cancelled:
+                    break  # stop dispatching; drain blocks in flight
+                futures.append(
+                    self._pool.submit(run_block, lo, min(lo + step, n)))
+            psp.count("blocks_run", len(futures))
+
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            failed = any(not f.cancelled() and f.exception() is not None
+                         for f in done)
+            if failed or not_done:
+                for f in not_done:
+                    f.cancel()
+                wait(futures)  # drain blocks that were already running
+            for f in futures:  # re-raise first failure in submission order
+                if not f.cancelled() and f.exception() is not None:
+                    raise f.exception()
+            if token is not None:
+                token.check("parallel_for:join")
 
     def shutdown(self) -> None:
         """Release the worker threads; idempotent (extra calls are no-ops)."""

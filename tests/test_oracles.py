@@ -1,0 +1,108 @@
+"""Direct tests of the networkx-backed test oracles themselves.
+
+The oracles certify the solvers everywhere else, so their own contracts
+need pinning — in particular the distinction the plain oracle draws
+between "unreachable" (``inf``: a legitimate answer about a vertex of
+the graph) and "not in graph" (``ValueError``: a caller bug that must
+never be silently conflated with unreachability).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import graph_from_triples
+from oracles import nx_limited_sssp_oracle, nx_sssp_oracle
+from repro.baselines.bellman_ford import bellman_ford
+from repro.graph.generators import (
+    hidden_potential_graph,
+    planted_negative_cycle_graph,
+    random_digraph,
+)
+from repro.limited.limited import limited_sssp
+
+
+# ---------------------------------------------------------------------------
+# nx_sssp_oracle
+# ---------------------------------------------------------------------------
+
+class TestSsspOracle:
+    def test_unreachable_vertex_gets_inf(self):
+        # 0 -> 1, vertex 2 isolated: unreachable, but still a vertex
+        g = graph_from_triples(3, [(0, 1, 4)])
+        dist, neg = nx_sssp_oracle(g, 0)
+        assert not neg
+        np.testing.assert_array_equal(dist, [0.0, 4.0, np.inf])
+
+    @pytest.mark.parametrize("source", [-1, 3, 100])
+    def test_source_outside_graph_raises(self, source):
+        g = graph_from_triples(3, [(0, 1, 4)])
+        with pytest.raises(ValueError, match="not a vertex"):
+            nx_sssp_oracle(g, source)
+
+    def test_negative_cycle_reported(self):
+        g, _ = planted_negative_cycle_graph(12, 36, 3, seed=0)
+        dist, neg = nx_sssp_oracle(g, 0)
+        assert neg and dist is None
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_bellman_ford_baseline(self, seed):
+        g = hidden_potential_graph(20, 60, seed=seed)
+        dist, neg = nx_sssp_oracle(g, 0)
+        ref = bellman_ford(g, 0)
+        assert not neg and not ref.has_negative_cycle
+        np.testing.assert_array_equal(dist, ref.dist)
+
+    def test_parallel_edges_use_cheapest(self):
+        g = graph_from_triples(2, [(0, 1, 9), (0, 1, 2)])
+        dist, _ = nx_sssp_oracle(g, 0)
+        assert dist[1] == 2.0
+
+
+# ---------------------------------------------------------------------------
+# nx_limited_sssp_oracle
+# ---------------------------------------------------------------------------
+
+class TestLimitedOracle:
+    def test_beyond_limit_is_inf(self):
+        # chain 0 -2-> 1 -3-> 2 -4-> 3: distances 0, 2, 5, 9
+        g = graph_from_triples(4, [(0, 1, 2), (1, 2, 3), (2, 3, 4)])
+        np.testing.assert_array_equal(
+            nx_limited_sssp_oracle(g, 0, 5), [0.0, 2.0, 5.0, np.inf])
+        np.testing.assert_array_equal(
+            nx_limited_sssp_oracle(g, 0, 4), [0.0, 2.0, np.inf, np.inf])
+        np.testing.assert_array_equal(
+            nx_limited_sssp_oracle(g, 0, 0), [0.0, np.inf, np.inf, np.inf])
+
+    @pytest.mark.parametrize("source", [-2, 4])
+    def test_source_outside_graph_raises(self, source):
+        g = graph_from_triples(4, [(0, 1, 2)])
+        with pytest.raises(ValueError, match="not a vertex"):
+            nx_limited_sssp_oracle(g, source, 5)
+
+    def test_negative_limit_rejected(self):
+        g = graph_from_triples(2, [(0, 1, 2)])
+        with pytest.raises(ValueError, match="nonnegative"):
+            nx_limited_sssp_oracle(g, 0, -1)
+
+    def test_negative_weights_rejected(self):
+        g = graph_from_triples(2, [(0, 1, -2)])
+        with pytest.raises(ValueError, match="nonnegative"):
+            nx_limited_sssp_oracle(g, 0, 5)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_limited_sssp_solver(self, seed):
+        g = random_digraph(18, 54, min_w=0, max_w=7, seed=seed)
+        limit = 2 + seed
+        res = limited_sssp(g, 0, limit)
+        assert res.verified
+        np.testing.assert_array_equal(
+            res.dist, nx_limited_sssp_oracle(g, 0, limit))
+
+    def test_limit_larger_than_diameter_equals_plain_oracle(self):
+        g = random_digraph(16, 48, min_w=0, max_w=5, seed=3)
+        full, neg = nx_sssp_oracle(g, 0)
+        assert not neg
+        np.testing.assert_array_equal(
+            nx_limited_sssp_oracle(g, 0, 10 ** 6), full)

@@ -1,0 +1,130 @@
+"""Trace stitching across preemption: interrupted + resumed == uninterrupted.
+
+Companion to the kill-and-resume sweep in ``test_preempt_resume.py``:
+there the *answers* must be bit-identical across a crash/resume; here the
+*traces* must be stitchable back into the uninterrupted phase story.  The
+solve is crashed right after each checkpoint write (the checkpoint
+records the tracer cursor), resumed under a fresh tracer, and
+``stitch_traces`` of the two halves must reproduce the uninterrupted
+run's exact phase sequence — no duplicated scales, no holes, no
+``checkpoint-restore`` bookkeeping leaking through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import solve_sssp_resilient
+from repro.graph import generators
+from repro.observability import (
+    Trace,
+    Tracer,
+    phase_sequence,
+    stitch_traces,
+    tracing,
+)
+from repro.resilience import load_checkpoint
+
+pytestmark = [pytest.mark.observability, pytest.mark.resilience]
+
+
+class SimulatedCrash(Exception):
+    """Stands in for SIGKILL right after a checkpoint hits the disk."""
+
+
+GRAPHS = [
+    ("hidden-18", lambda: generators.hidden_potential_graph(
+        18, 56, potential_spread=9, seed=2)),
+    ("hidden-24", lambda: generators.hidden_potential_graph(
+        24, 70, seed=2)),
+    ("bf-hard-16", lambda: generators.bf_hard_graph(
+        16, 48, potential_spread=12, seed=3)),
+]
+
+
+def _traced(fn):
+    tr = Tracer()
+    with tracing(tr):
+        res = fn()
+    return Trace.from_tracer(tr), res
+
+
+@pytest.mark.parametrize("name,make", GRAPHS, ids=[n for n, _ in GRAPHS])
+def test_stitched_trace_equals_uninterrupted(name, make, tmp_path):
+    g = make()
+    base_trace, base = _traced(lambda: solve_sssp_resilient(g, 0, seed=0))
+    assert not base.has_negative_cycle
+    base_seq = phase_sequence(base_trace)
+    n_scales = len(base.stats.scales)
+    assert n_scales >= 2
+
+    for k in range(n_scales):
+        path = tmp_path / f"{name}-ck{k}.bin"
+
+        def crash_after_k(ck, k=k):
+            if ck.scale_idx == k:
+                raise SimulatedCrash
+
+        tr1 = Tracer()
+        with tracing(tr1), pytest.raises(SimulatedCrash):
+            solve_sssp_resilient(g, 0, seed=0, checkpoint_path=path,
+                                 on_checkpoint=crash_after_k)
+        first = Trace.from_tracer(tr1)
+
+        ck = load_checkpoint(path)
+        assert ck.scale_idx == k
+        # the checkpoint cursor covers at least solve > scaling > k+1
+        # closed scale spans (plus everything nested under them)
+        assert ck.trace_cursor > k
+
+        tr2 = Tracer()
+        with tracing(tr2):
+            res = solve_sssp_resilient(g, 0, seed=0, checkpoint_path=path,
+                                       resume=True)
+        np.testing.assert_array_equal(res.dist, base.dist)
+        resumed = Trace.from_tracer(tr2)
+        assert resumed.resumed_cursor == ck.trace_cursor
+
+        stitched = stitch_traces(first, resumed)
+        assert stitched.meta["stitched"] is True
+        assert stitched.meta["stitch_cursor"] == ck.trace_cursor
+        assert not any(s.name == "checkpoint-restore" for s in stitched.spans)
+        assert phase_sequence(stitched) == base_seq
+
+
+def test_resumed_trace_totals_match_its_own_cost(tmp_path):
+    """The resumed half is a well-formed trace in its own right: its root
+    totals must equal the resumed solve's reported cost."""
+    g = generators.hidden_potential_graph(18, 56, potential_spread=9, seed=2)
+    path = tmp_path / "ck.bin"
+
+    def crash_first(ck):
+        raise SimulatedCrash
+
+    with tracing(Tracer()), pytest.raises(SimulatedCrash):
+        solve_sssp_resilient(g, 0, seed=0, checkpoint_path=path,
+                             on_checkpoint=crash_first)
+
+    tr2 = Tracer()
+    with tracing(tr2):
+        res = solve_sssp_resilient(g, 0, seed=0, checkpoint_path=path,
+                                   resume=True)
+    work, span, span_model = Trace.from_tracer(tr2).totals()
+    assert work == res.cost.work
+    assert span == res.cost.span
+    assert span_model == res.cost.span_model
+
+
+def test_stitch_requires_cursor(tmp_path):
+    """A resumed trace that never went through checkpoint restore cannot
+    be stitched implicitly."""
+    g = generators.hidden_potential_graph(16, 48, seed=0)
+    t1, _ = _traced(lambda: solve_sssp_resilient(g, 0, seed=0))
+    t2, _ = _traced(lambda: solve_sssp_resilient(g, 0, seed=0))
+    assert t2.resumed_cursor is None
+    with pytest.raises(ValueError):
+        stitch_traces(t1, t2)
+    # explicit cursor works regardless
+    out = stitch_traces(t1, t2, cursor=0)
+    assert phase_sequence(out) == phase_sequence(t2)
