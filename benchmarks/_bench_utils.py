@@ -1,7 +1,9 @@
 """Shared helpers for the benchmark suite.
 
 Each ``bench_eXX_*.py`` regenerates one experiment of EXPERIMENTS.md:
-it prints the rows, writes them to ``benchmarks/results/``, asserts the
+it prints the rows, writes them to ``benchmarks/results/`` — both the
+human-readable ``<name>.txt`` table and the machine-readable
+``BENCH_<name>.json`` record the regression gate consumes — asserts the
 claim's *shape*, and times a representative workload with pytest-benchmark.
 """
 
@@ -10,14 +12,30 @@ from __future__ import annotations
 import pathlib
 
 from repro.analysis import render_table
+from repro.analysis.benchjson import (
+    bench_record,
+    write_bench_json,
+    write_bench_summary,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def save_table(rows, name: str, title: str) -> str:
-    """Render, persist, and print one experiment table."""
+def save_table(rows, name: str, title: str, *,
+               wallclock: dict | None = None,
+               meta: dict | None = None) -> str:
+    """Render, persist, and print one experiment table.
+
+    Besides the text table, emits a schema-versioned ``BENCH_<name>.json``
+    (full-precision rows + environment fingerprint) and refreshes
+    ``BENCH_summary.json``.  ``wallclock`` maps measurement names to raw
+    timing sample lists (seconds); ``meta`` is free-form provenance.
+    """
     text = render_table(rows, title)
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    record = bench_record(name, title, rows, wallclock=wallclock, meta=meta)
+    write_bench_json(record, RESULTS_DIR)
+    write_bench_summary(RESULTS_DIR)
     print("\n" + text)
     return text

@@ -1,0 +1,383 @@
+"""Statistical regression gating over BENCH_*.json records.
+
+Two kinds of columns get two kinds of verdicts:
+
+* **Deterministic model costs** (work, span_model, rounds, counts …) are
+  pure functions of the seed, so baseline and candidate must agree
+  *bit-exactly*.  Any difference is a regression (or an intentional
+  algorithm change that must re-baseline).
+* **Wall-clock measurements** are noisy.  Raw sample lists (the
+  ``wallclock`` section of a record) are compared with a Mann–Whitney U
+  test plus a bootstrap confidence interval on the median ratio; a
+  regression needs *both* statistical significance and a practically
+  large effect.  Scalar timing columns inside rows (one sample, e.g.
+  ``goldberg_seconds``) carry too little information to gate on and are
+  reported as informational only.
+
+Per-experiment tolerances come from a gate config
+(``benchmarks/gate_config.json``); ``repro bench compare`` turns the
+report into an exit code.
+
+Only numpy is required — the Mann–Whitney p-value uses the tie-corrected
+normal approximation, which is what scipy itself uses for n ≳ 8.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .benchjson import list_bench_json, load_bench_json
+
+# Column-name patterns treated as nondeterministic wall-clock measurements.
+_WALLCLOCK_SUFFIXES = ("_s", "_secs", "_seconds", "_sec", "_pct", "_ms")
+_WALLCLOCK_PREFIXES = ("time", "wall", "plain", "enabled", "overhead")
+
+# Verdict statuses, in increasing severity.
+OK = "ok"
+INFO = "info"
+SKIPPED = "skipped"
+REGRESSION = "regression"
+ERROR = "error"
+
+
+def is_wallclock_column(name: str) -> bool:
+    """Heuristic split between deterministic and timing columns."""
+    low = name.lower()
+    return (low.endswith(_WALLCLOCK_SUFFIXES)
+            or low.startswith(_WALLCLOCK_PREFIXES)
+            or "seconds" in low or "wallclock" in low)
+
+
+@dataclass
+class GateTolerance:
+    """Wall-clock thresholds for one experiment (deterministic columns
+    always require exact equality and have no knobs)."""
+
+    alpha: float = 0.01            # Mann–Whitney significance level
+    min_effect_pct: float = 10.0   # median slowdown below this never gates
+    n_boot: int = 2000             # bootstrap resamples for the CI
+    min_samples: int = 5           # fewer raw samples -> verdict "skipped"
+
+
+@dataclass
+class GateConfig:
+    default: GateTolerance = field(default_factory=GateTolerance)
+    experiments: dict = field(default_factory=dict)
+
+    def tolerance(self, bench_id: str) -> GateTolerance:
+        return self.experiments.get(bench_id, self.default)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GateConfig":
+        def tol(d: dict) -> GateTolerance:
+            known = {k: d[k] for k in
+                     ("alpha", "min_effect_pct", "n_boot", "min_samples")
+                     if k in d}
+            return GateTolerance(**known)
+        default = tol(data.get("default", {}))
+        exps = {k: tol(v) for k, v in data.get("experiments", {}).items()}
+        return cls(default=default, experiments=exps)
+
+    @classmethod
+    def load(cls, path) -> "GateConfig":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+@dataclass
+class Verdict:
+    """One comparison outcome (experiment × column or × measurement)."""
+
+    bench_id: str
+    subject: str       # column / wallclock measurement / "rows"
+    status: str        # ok | info | skipped | regression | error
+    detail: str = ""
+
+    @property
+    def gating(self) -> bool:
+        return self.status in (REGRESSION, ERROR)
+
+
+@dataclass
+class GateReport:
+    verdicts: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(v.gating for v in self.verdicts)
+
+    @property
+    def failures(self) -> list:
+        return [v for v in self.verdicts if v.gating]
+
+
+# ---------------------------------------------------------------------------
+# Statistics (numpy-only)
+# ---------------------------------------------------------------------------
+
+def mannwhitney_u(a, b) -> tuple[float, float]:
+    """Two-sided Mann–Whitney U with tie-corrected normal approximation.
+
+    Returns ``(U_a, p_value)`` where ``U_a`` counts pairs in which a
+    sample from ``a`` exceeds one from ``b`` (ties half-weighted).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n1, n2 = len(a), len(b)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("both samples must be nonempty")
+    pooled = np.concatenate([a, b])
+    order = np.argsort(pooled, kind="mergesort")
+    ranks = np.empty(len(pooled))
+    sorted_vals = pooled[order]
+    # average ranks over tie groups
+    i = 0
+    while i < len(sorted_vals):
+        j = i
+        while j + 1 < len(sorted_vals) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    r1 = ranks[:n1].sum()
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    mu = n1 * n2 / 2.0
+    # tie correction on the variance
+    _, counts = np.unique(sorted_vals, return_counts=True)
+    n = n1 + n2
+    tie_term = float(((counts ** 3 - counts).sum()) / (n * (n - 1))) \
+        if n > 1 else 0.0
+    sigma2 = n1 * n2 / 12.0 * ((n + 1) - tie_term)
+    if sigma2 <= 0:
+        return float(u1), 1.0  # all values identical
+    z = (u1 - mu - 0.5 * np.sign(u1 - mu)) / math.sqrt(sigma2)
+    p = 2.0 * 0.5 * math.erfc(abs(z) / math.sqrt(2.0))
+    return float(u1), min(1.0, float(p))
+
+
+def bootstrap_median_ratio_ci(baseline, candidate, *, n_boot: int = 2000,
+                              conf: float = 0.95, seed: int = 0
+                              ) -> tuple[float, float, float]:
+    """``(ratio, lo, hi)``: median(candidate)/median(baseline) with a
+    seeded percentile-bootstrap confidence interval (deterministic)."""
+    baseline = np.asarray(baseline, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if len(baseline) == 0 or len(candidate) == 0:
+        raise ValueError("both samples must be nonempty")
+    base_med = float(np.median(baseline))
+    if base_med <= 0:
+        raise ValueError("baseline median must be positive")
+    ratio = float(np.median(candidate)) / base_med
+    rng = np.random.default_rng(seed)
+    bs = rng.choice(baseline, size=(n_boot, len(baseline)), replace=True)
+    cs = rng.choice(candidate, size=(n_boot, len(candidate)), replace=True)
+    bm = np.median(bs, axis=1)
+    cm = np.median(cs, axis=1)
+    valid = bm > 0
+    ratios = cm[valid] / bm[valid]
+    if len(ratios) == 0:
+        return ratio, ratio, ratio
+    tail = (1.0 - conf) / 2.0
+    lo, hi = np.quantile(ratios, [tail, 1.0 - tail])
+    return ratio, float(lo), float(hi)
+
+
+# ---------------------------------------------------------------------------
+# Record comparison
+# ---------------------------------------------------------------------------
+
+def _compare_deterministic(bench_id: str, baseline: dict, candidate: dict
+                           ) -> list[Verdict]:
+    """Bit-exact verdicts over the deterministic row columns."""
+    brows, crows = baseline["rows"], candidate["rows"]
+    if len(brows) != len(crows):
+        return [Verdict(bench_id, "rows", REGRESSION,
+                        f"row count changed: {len(brows)} -> {len(crows)}")]
+    verdicts = []
+    mismatches: dict[str, str] = {}
+    checked: set[str] = set()
+    for i, (br, cr) in enumerate(zip(brows, crows)):
+        if br["params"] != cr["params"]:
+            return [Verdict(bench_id, "rows", REGRESSION,
+                            f"row {i} params changed: {br['params']} -> "
+                            f"{cr['params']}")]
+        keys = set(br["values"]) | set(cr["values"])
+        for key in keys:
+            if is_wallclock_column(key):
+                continue
+            checked.add(key)
+            if key in mismatches:
+                continue
+            if key not in br["values"] or key not in cr["values"]:
+                mismatches[key] = f"column only on one side (row {i})"
+            elif br["values"][key] != cr["values"][key]:
+                mismatches[key] = (
+                    f"row {i} ({br['params']}): "
+                    f"{br['values'][key]!r} -> {cr['values'][key]!r}")
+    for key in sorted(checked):
+        if key in mismatches:
+            verdicts.append(Verdict(bench_id, key, REGRESSION,
+                                    mismatches[key]))
+        else:
+            verdicts.append(Verdict(bench_id, key, OK,
+                                    f"bit-exact over {len(brows)} rows"))
+    return verdicts
+
+
+def _scalar_wallclock_info(bench_id: str, baseline: dict, candidate: dict
+                           ) -> list[Verdict]:
+    """Single-sample timing columns: report the ratio, never gate."""
+    verdicts = []
+    seen: set[str] = set()
+    for br, cr in zip(baseline["rows"], candidate["rows"]):
+        for key in br["values"]:
+            if not is_wallclock_column(key) or key in seen:
+                continue
+            seen.add(key)
+            bvals = [r["values"].get(key) for r in baseline["rows"]]
+            cvals = [r["values"].get(key) for r in candidate["rows"]]
+            bs = [v for v in bvals if isinstance(v, (int, float))
+                  and not isinstance(v, bool) and v > 0]
+            cs = [v for v in cvals if isinstance(v, (int, float))
+                  and not isinstance(v, bool) and v > 0]
+            if bs and cs:
+                ratio = (sum(cs) / len(cs)) / (sum(bs) / len(bs))
+                verdicts.append(Verdict(
+                    bench_id, key, INFO,
+                    f"timing column, informational: mean ratio {ratio:.2f}x"))
+            else:
+                verdicts.append(Verdict(bench_id, key, INFO,
+                                        "timing column, no positive samples"))
+    return verdicts
+
+
+def _compare_wallclock(bench_id: str, baseline: dict, candidate: dict,
+                       tol: GateTolerance, *, seed: int = 0) -> list[Verdict]:
+    """Statistical verdicts over raw wall-clock sample lists."""
+    bwc = baseline.get("wallclock", {})
+    cwc = candidate.get("wallclock", {})
+    verdicts = []
+    for name in sorted(set(bwc) | set(cwc)):
+        if name not in bwc or name not in cwc:
+            verdicts.append(Verdict(
+                bench_id, name, SKIPPED,
+                "wallclock measurement only on one side"))
+            continue
+        b, c = bwc[name], cwc[name]
+        if len(b) < tol.min_samples or len(c) < tol.min_samples:
+            verdicts.append(Verdict(
+                bench_id, name, SKIPPED,
+                f"too few samples ({len(b)} vs {len(c)}, "
+                f"need {tol.min_samples})"))
+            continue
+        _, p = mannwhitney_u(c, b)
+        ratio, lo, hi = bootstrap_median_ratio_ci(
+            b, c, n_boot=tol.n_boot, seed=seed)
+        slowdown_pct = (ratio - 1.0) * 100.0
+        detail = (f"median ratio {ratio:.3f}x "
+                  f"(95% CI [{lo:.3f}, {hi:.3f}]), "
+                  f"Mann-Whitney p={p:.4f}, "
+                  f"gate: >{tol.min_effect_pct:.0f}% & p<{tol.alpha}")
+        regressed = (p < tol.alpha
+                     and slowdown_pct > tol.min_effect_pct
+                     and lo > 1.0)
+        verdicts.append(Verdict(
+            bench_id, name, REGRESSION if regressed else OK, detail))
+    return verdicts
+
+
+def compare_records(baseline: dict, candidate: dict,
+                    config: GateConfig | None = None, *,
+                    check_wallclock: bool = True,
+                    seed: int = 0) -> list[Verdict]:
+    """All verdicts for one experiment pair."""
+    config = config or GateConfig()
+    bench_id = candidate["id"]
+    if baseline["id"] != bench_id:
+        return [Verdict(bench_id, "id", ERROR,
+                        f"comparing different experiments: "
+                        f"{baseline['id']} vs {bench_id}")]
+    verdicts = _compare_deterministic(bench_id, baseline, candidate)
+    if any(v.subject == "rows" and v.gating for v in verdicts):
+        return verdicts  # rows are incomparable; nothing else is meaningful
+    verdicts += _scalar_wallclock_info(bench_id, baseline, candidate)
+    if check_wallclock:
+        verdicts += _compare_wallclock(bench_id, baseline, candidate,
+                                       config.tolerance(bench_id), seed=seed)
+    else:
+        for name in sorted(set(baseline.get("wallclock", {}))
+                           | set(candidate.get("wallclock", {}))):
+            verdicts.append(Verdict(bench_id, name, SKIPPED,
+                                    "wallclock gating disabled"))
+    return verdicts
+
+
+def compare_dirs(baseline_dir, candidate_dir,
+                 config: GateConfig | None = None, *,
+                 check_wallclock: bool = True,
+                 require_all_baselines: bool = True,
+                 seed: int = 0) -> GateReport:
+    """Compare every experiment present in ``baseline_dir`` against
+    ``candidate_dir``; extra candidate experiments are informational."""
+    config = config or GateConfig()
+    report = GateReport()
+    base_paths = {p.name: p for p in list_bench_json(baseline_dir)}
+    cand_paths = {p.name: p for p in list_bench_json(candidate_dir)}
+    if not base_paths:
+        report.verdicts.append(Verdict(
+            "*", "baseline", ERROR,
+            f"no BENCH_*.json records in {baseline_dir}"))
+        return report
+    for name in sorted(base_paths):
+        try:
+            baseline = load_bench_json(base_paths[name])
+        except (ValueError, json.JSONDecodeError) as exc:
+            report.verdicts.append(Verdict(name, "baseline", ERROR, str(exc)))
+            continue
+        if name not in cand_paths:
+            status = REGRESSION if require_all_baselines else SKIPPED
+            report.verdicts.append(Verdict(
+                baseline["id"], "candidate", status,
+                f"baseline has no candidate record ({name} missing "
+                f"from {candidate_dir})"))
+            continue
+        try:
+            candidate = load_bench_json(cand_paths[name])
+        except (ValueError, json.JSONDecodeError) as exc:
+            report.verdicts.append(Verdict(name, "candidate", ERROR,
+                                           str(exc)))
+            continue
+        report.verdicts.extend(compare_records(
+            baseline, candidate, config,
+            check_wallclock=check_wallclock, seed=seed))
+    for name in sorted(set(cand_paths) - set(base_paths)):
+        report.verdicts.append(Verdict(
+            name, "baseline", INFO,
+            "new experiment with no committed baseline"))
+    return report
+
+
+def render_report(report: GateReport) -> str:
+    """Human-readable verdict table plus a PASS/FAIL footer."""
+    lines = []
+    width_id = max([len(v.bench_id) for v in report.verdicts] + [len("id")])
+    width_sub = max([len(v.subject) for v in report.verdicts]
+                    + [len("subject")])
+    lines.append(f"{'id'.ljust(width_id)}  {'subject'.ljust(width_sub)}  "
+                 f"{'status'.ljust(10)}  detail")
+    lines.append("-" * len(lines[0]))
+    for v in report.verdicts:
+        lines.append(f"{v.bench_id.ljust(width_id)}  "
+                     f"{v.subject.ljust(width_sub)}  "
+                     f"{v.status.ljust(10)}  {v.detail}")
+    n_fail = len(report.failures)
+    lines.append("")
+    if report.ok:
+        lines.append(f"PASS: {len(report.verdicts)} verdicts, 0 regressions")
+    else:
+        lines.append(f"FAIL: {n_fail} regression(s) / error(s) out of "
+                     f"{len(report.verdicts)} verdicts")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Registry of runnable experiments shared by the report and the bench CLI.
+
+One table maps an experiment id (``E1`` … ``A4``) to its runner, its full
+and ``--fast`` parameter sweeps, and the ``bench_id`` used for artefacts
+(``benchmarks/results/<bench_id>.txt`` and ``BENCH_<bench_id>.json``).
+``repro report`` renders every entry to markdown; ``repro bench run``
+executes a selection and emits the machine-readable records the regression
+gate (:mod:`repro.analysis.benchgate`) consumes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from . import experiments as ex
+from .benchjson import bench_record, write_bench_json, write_bench_summary
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One experiment: how to run it and where its artefacts live."""
+
+    exp_id: str       # "E1" — id used in EXPERIMENTS.md / the report
+    bench_id: str     # "e01_dag01_work" — artefact stem
+    title: str
+    runner: Callable
+    full_kwargs: dict
+    fast_kwargs: dict
+
+    @property
+    def cli_id(self) -> str:
+        """Lower-case id accepted by ``repro bench run`` (e.g. ``e1``)."""
+        return self.exp_id.lower()
+
+
+BENCH_RUNS: list[BenchSpec] = [
+    BenchSpec("E1", "e01_dag01_work",
+              "§3 peeling work vs m (Õ(m), Thm 8)",
+              ex.run_dag01_work_scaling,
+              dict(sizes=(200, 400, 800, 1600, 3200)),
+              dict(sizes=(150, 300, 600))),
+    BenchSpec("E2", "e02_dag01_span",
+              "§3 peeling span vs L (√L·n^(1/2+o(1)), Thm 8)",
+              ex.run_dag01_span_scaling,
+              dict(layers_list=(4, 8, 16, 32, 64), width=40),
+              dict(layers_list=(4, 8, 16), width=20)),
+    BenchSpec("E3", "e03_label_changes",
+              "label changes per vertex (O(log² n), Cor 6)",
+              ex.run_label_changes,
+              dict(sizes=(100, 400, 1600, 6400)),
+              dict(sizes=(100, 400))),
+    BenchSpec("E4", "e04_peeling_vs_naive",
+              "peeling vs naive per-round reachability (§3.1)",
+              ex.run_peeling_vs_naive,
+              dict(depths=(10, 30, 90, 270)),
+              dict(depths=(10, 40))),
+    BenchSpec("E5", "e05_limited_work_span",
+              "§4 LimitedSP work/span (Thm 15)",
+              ex.run_limited_work_span,
+              dict(sizes=(200, 400, 800, 1600)),
+              dict(sizes=(150, 300))),
+    BenchSpec("E6", "e06_interval_reassignments",
+              "interval additions per vertex (O(lg² D), Lem 13)",
+              ex.run_interval_reassignments,
+              dict(limits=(4, 16, 64, 256)),
+              dict(limits=(4, 32), n=120)),
+    BenchSpec("E7", "e07_sqrt_k_improvement",
+              "√k-improvement progress (Thm 16)",
+              ex.run_sqrt_k_progress,
+              dict(ks=(9, 25, 100, 400, 1600)),
+              dict(ks=(9, 64))),
+    BenchSpec("E8", "e08_reweighting_iterations",
+              "1-reweighting iterations (O(√K), Alg 4)",
+              ex.run_reweighting_iterations,
+              dict(sizes=(50, 200, 800, 3200)),
+              dict(sizes=(50, 200))),
+    BenchSpec("E9", "e09_goldberg_vs_bellman_ford",
+              "parallel Goldberg vs Bellman–Ford (Thm 17)",
+              ex.run_goldberg_vs_bellman_ford,
+              dict(sizes=(128, 256, 512, 1024, 2048)),
+              dict(sizes=(96, 192, 384))),
+    BenchSpec("E10", "e10_span_parallelism",
+              "span & parallelism (Thm 17)",
+              ex.run_span_parallelism,
+              dict(sizes=(64, 128, 256, 512, 1024)),
+              dict(sizes=(64, 128))),
+    BenchSpec("E11", "e11_scaling_in_N",
+              "scaling rounds vs N (§5)",
+              ex.run_scaling_in_n,
+              dict(spreads=(2, 8, 32, 128, 512, 2048)),
+              dict(spreads=(2, 32), n=60)),
+    BenchSpec("E12", "e12_negative_cycles",
+              "negative-cycle detection (Thm 17, A.2)",
+              ex.run_negative_cycle_detection,
+              dict(sizes=(50, 100, 200, 400)),
+              dict(sizes=(40, 80))),
+    BenchSpec("E13", "e13_verification_retry",
+              "verification & retry under failure injection (§4.2)",
+              ex.run_verification_retry,
+              dict(p_fails=(0.0, 0.05, 0.15, 0.3)),
+              dict(p_fails=(0.0, 0.1), rows_cols=(6, 6), limit=12)),
+    BenchSpec("E15", "e15_family_robustness",
+              "robustness across graph families",
+              ex.run_family_robustness, dict(n=400), dict(n=150)),
+    BenchSpec("A4", "a4_cost_breakdown",
+              "per-stage work breakdown",
+              ex.run_cost_breakdown, dict(sizes=(128, 512)),
+              dict(sizes=(96,))),
+]
+
+BENCH_RUNS_BY_CLI_ID = {spec.cli_id: spec for spec in BENCH_RUNS}
+
+# The subset fast enough for the CI perf gate (deterministic model costs
+# settle in seconds; the committed baselines cover exactly these).
+FAST_GATE_IDS = ("e1", "e3", "e5", "e7", "e8", "e10", "e11")
+
+
+def resolve_specs(ids) -> list[BenchSpec]:
+    """Map CLI ids (``e1``/``E1``/``all``/``fast``) to specs, in order."""
+    ids = list(ids)
+    if not ids or ids == ["all"]:
+        return list(BENCH_RUNS)
+    if ids == ["fast"]:
+        ids = list(FAST_GATE_IDS)
+    specs = []
+    for raw in ids:
+        key = raw.lower()
+        if key not in BENCH_RUNS_BY_CLI_ID:
+            known = ", ".join(sorted(BENCH_RUNS_BY_CLI_ID))
+            raise ValueError(f"unknown experiment {raw!r} (known: {known}, "
+                             f"plus 'all' and 'fast')")
+        specs.append(BENCH_RUNS_BY_CLI_ID[key])
+    return specs
+
+
+def run_spec(spec: BenchSpec, *, fast: bool = False) -> tuple[dict, float]:
+    """Execute one experiment; return its bench record and the elapsed
+    wall-clock seconds (runner time is provenance, not a gated value)."""
+    kwargs = spec.fast_kwargs if fast else spec.full_kwargs
+    t0 = time.perf_counter()
+    rows = spec.runner(**kwargs)
+    elapsed = time.perf_counter() - t0
+    record = bench_record(
+        spec.bench_id, spec.title, rows,
+        meta={"exp_id": spec.exp_id, "mode": "fast" if fast else "full",
+              "kwargs": {k: v for k, v in kwargs.items()},
+              "runner_seconds": elapsed})
+    return record, elapsed
+
+
+def run_benches(ids, results_dir, *, fast: bool = False,
+                progress=None) -> list[dict]:
+    """Run a selection of experiments, persisting ``BENCH_<id>.json`` per
+    experiment plus a refreshed ``BENCH_summary.json``."""
+    specs = resolve_specs(ids)
+    records = []
+    for spec in specs:
+        record, elapsed = run_spec(spec, fast=fast)
+        path = write_bench_json(record, results_dir)
+        if progress is not None:
+            progress(f"{spec.exp_id:>4} {spec.bench_id:<28} "
+                     f"{len(record['rows'])} rows in {elapsed:.1f}s "
+                     f"-> {path}")
+        records.append(record)
+    write_bench_summary(results_dir)
+    return records

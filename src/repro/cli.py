@@ -5,7 +5,14 @@ Subcommands
 ``solve``     SSSP with negative weights on a DIMACS graph
               (prints distances or a negative-cycle certificate).
 ``generate``  synthesise a benchmark workload as DIMACS text.
-``bench``     run one named experiment from the analysis harness.
+``bench``     run experiments / gate against baselines.  ``bench e9``
+              prints one table (legacy); ``bench run`` executes a
+              selection and writes ``BENCH_<id>.json`` records;
+              ``bench compare BASE CAND`` gates a candidate results
+              directory against a baseline (bit-exact on deterministic
+              model costs, Mann–Whitney + bootstrap CI on wall-clock;
+              exits 1 on regression); ``bench baseline`` snapshots
+              records into ``benchmarks/baselines/``.
 ``trace``     per-phase cost breakdown of a ``solve --trace`` JSONL file.
 
 Exit codes (``solve``)
@@ -25,11 +32,16 @@ Examples::
     python -m repro solve g.gr --checkpoint ck.bin --resume
     python -m repro solve g.gr --trace t.jsonl && python -m repro trace t.jsonl
     python -m repro bench e9
+    python -m repro bench run fast --fast
+    python -m repro bench compare benchmarks/baselines benchmarks/results
+    python -m repro bench baseline fast --fast
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
+import shutil
 import signal
 import sys
 from contextlib import nullcontext
@@ -62,10 +74,17 @@ from .resilience import (
 )
 
 EXIT_OK = 0
+EXIT_REGRESSION = 1       # `bench compare` found a regression
 EXIT_INVALID_INPUT = 2
 EXIT_NEGATIVE_CYCLE = 3
 EXIT_EXHAUSTED = 4
 EXIT_DEADLINE = 5
+
+DEFAULT_RESULTS_DIR = pathlib.Path("benchmarks") / "results"
+DEFAULT_BASELINE_DIR = pathlib.Path("benchmarks") / "baselines"
+DEFAULT_GATE_CONFIG = pathlib.Path("benchmarks") / "gate_config.json"
+
+_BENCH_ACTIONS = ("run", "compare", "baseline")
 
 _GENERATORS = {
     "hidden-potential": lambda a: generators.hidden_potential_graph(
@@ -146,8 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="weight magnitude / cycle length parameter")
     pg.add_argument("--seed", type=int, default=0)
 
-    pb = sub.add_parser("bench", help="run one analysis experiment")
-    pb.add_argument("experiment", choices=sorted(_BENCHES))
+    pb = sub.add_parser(
+        "bench",
+        help="run experiments / regression-gate against baselines")
+    pb.add_argument("experiment",
+                    choices=sorted(_BENCHES) + list(_BENCH_ACTIONS),
+                    metavar="{" + ",".join(sorted(_BENCHES))
+                    + ",run,compare,baseline}",
+                    help="a legacy single-table experiment id, or one of "
+                         "the pipeline actions run/compare/baseline")
+    pb.add_argument("rest", nargs=argparse.REMAINDER,
+                    help="action arguments (see `repro bench run --help`)")
 
     pt = sub.add_parser("trace",
                         help="per-phase cost breakdown of a JSONL trace "
@@ -267,7 +295,146 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _bench_run_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro bench run",
+        description="Run experiments and write BENCH_<id>.json records")
+    p.add_argument("ids", nargs="*", default=["all"],
+                   help="experiment ids (e1 e5 ...), 'all', or 'fast' "
+                        "(the CI gate subset); default all")
+    p.add_argument("--fast", action="store_true",
+                   help="shrunken parameter sweeps")
+    p.add_argument("--results-dir", default=str(DEFAULT_RESULTS_DIR),
+                   help=f"output directory (default {DEFAULT_RESULTS_DIR})")
+    return p
+
+
+def _bench_compare_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro bench compare",
+        description="Gate a candidate results directory against a "
+                    "baseline: bit-exact on deterministic model costs, "
+                    "Mann-Whitney + bootstrap CI on raw wall-clock "
+                    "samples.  Exits 1 on regression.")
+    p.add_argument("baseline", help="directory of baseline BENCH_*.json")
+    p.add_argument("candidate", help="directory of candidate BENCH_*.json")
+    p.add_argument("--config", default=None,
+                   help="gate config JSON (default "
+                        f"{DEFAULT_GATE_CONFIG} when present)")
+    p.add_argument("--wallclock", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="--no-wallclock skips timing statistics (for "
+                        "cross-machine comparisons, e.g. CI vs committed "
+                        "baselines)")
+    p.add_argument("--allow-missing", action="store_true",
+                   help="a baseline with no candidate record is skipped "
+                        "instead of failing")
+    p.add_argument("--seed", type=int, default=0,
+                   help="bootstrap RNG seed (default 0)")
+    return p
+
+
+def _bench_baseline_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro bench baseline",
+        description="Snapshot BENCH_<id>.json records into the committed "
+                    "baseline directory (reruns the experiments first "
+                    "unless --no-run)")
+    p.add_argument("ids", nargs="*", default=["all"],
+                   help="experiment ids, 'all', or 'fast'; default all")
+    p.add_argument("--fast", action="store_true",
+                   help="shrunken parameter sweeps")
+    p.add_argument("--results-dir", default=str(DEFAULT_RESULTS_DIR),
+                   help=f"source directory (default {DEFAULT_RESULTS_DIR})")
+    p.add_argument("--baseline-dir", default=str(DEFAULT_BASELINE_DIR),
+                   help="snapshot destination "
+                        f"(default {DEFAULT_BASELINE_DIR})")
+    p.add_argument("--run", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="--no-run snapshots existing records without "
+                        "rerunning")
+    return p
+
+
+def _cmd_bench_run(argv) -> int:
+    from .analysis.benchruns import run_benches
+
+    args = _bench_run_parser().parse_args(argv)
+    try:
+        run_benches(args.ids, args.results_dir, fast=args.fast,
+                    progress=print)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    print(f"wrote records to {args.results_dir}")
+    return EXIT_OK
+
+
+def _cmd_bench_compare(argv) -> int:
+    from .analysis.benchgate import GateConfig, compare_dirs, render_report
+
+    args = _bench_compare_parser().parse_args(argv)
+    config_path = args.config
+    if config_path is None and DEFAULT_GATE_CONFIG.is_file():
+        config_path = DEFAULT_GATE_CONFIG
+    try:
+        config = GateConfig.load(config_path) if config_path \
+            else GateConfig()
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: bad gate config {config_path}: {exc}",
+              file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    report = compare_dirs(
+        args.baseline, args.candidate, config,
+        check_wallclock=args.wallclock,
+        require_all_baselines=not args.allow_missing,
+        seed=args.seed)
+    print(render_report(report))
+    return EXIT_OK if report.ok else EXIT_REGRESSION
+
+
+def _cmd_bench_baseline(argv) -> int:
+    from .analysis.benchjson import list_bench_json, write_bench_summary
+    from .analysis.benchruns import resolve_specs, run_benches
+
+    args = _bench_baseline_parser().parse_args(argv)
+    try:
+        specs = resolve_specs(args.ids)
+        if args.run:
+            run_benches(args.ids, args.results_dir, fast=args.fast,
+                        progress=print)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    wanted = {f"BENCH_{s.bench_id}.json" for s in specs}
+    sources = [p for p in list_bench_json(args.results_dir)
+               if p.name in wanted]
+    missing = wanted - {p.name for p in sources}
+    if missing:
+        print(f"error: no records for {sorted(missing)} in "
+              f"{args.results_dir} (run `repro bench run` first)",
+              file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    dest = pathlib.Path(args.baseline_dir)
+    dest.mkdir(parents=True, exist_ok=True)
+    for src in sources:
+        shutil.copyfile(src, dest / src.name)
+        print(f"baselined {src.name}")
+    write_bench_summary(dest)
+    print(f"snapshot of {len(sources)} record(s) in {dest}")
+    return EXIT_OK
+
+
 def cmd_bench(args) -> int:
+    if args.experiment in _BENCH_ACTIONS:
+        handler = {"run": _cmd_bench_run,
+                   "compare": _cmd_bench_compare,
+                   "baseline": _cmd_bench_baseline}[args.experiment]
+        return handler(args.rest)
+    if args.rest:
+        print(f"error: unexpected arguments {args.rest} after "
+              f"{args.experiment!r}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
     rows = _BENCHES[args.experiment]()
     print_table(rows, f"experiment {args.experiment}")
     return 0

@@ -37,6 +37,7 @@ from ..resilience.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from ..observability.metrics import metric_inc, metric_set
 from ..observability.tracer import current_tracer, trace_event, trace_span
 from ..resilience.errors import Certificate, CheckpointError
 from ..resilience.preempt import CancelToken, cancel_scope
@@ -212,6 +213,10 @@ def scaled_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
                     stats.per_scale.append(res.stats)
                     ssp.set(iterations=res.stats.iterations,
                             negative_cycle=res.negative_cycle is not None)
+                    metric_inc("repro_scales_total")
+                    metric_inc("repro_reweighting_iterations_total",
+                               res.stats.iterations)
+                    metric_set("repro_scale_current", s)
                     if res.negative_cycle is not None:
                         if acc is not None:
                             acc.charge_cost(local.snapshot())
@@ -232,7 +237,9 @@ def scaled_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
                                     "improved": ps.improved}
                                    for ps in stats.per_scale],
                         trace_cursor=(tr.cursor() if tr is not None else 0))
-                    save_checkpoint(checkpoint_path, ck)
+                    nbytes = save_checkpoint(checkpoint_path, ck)
+                    metric_inc("repro_checkpoint_writes_total")
+                    metric_inc("repro_checkpoint_bytes_total", nbytes)
                     trace_event("checkpoint", scale=s, scale_idx=scale_idx,
                                 done=(s == 1), trace_cursor=ck.trace_cursor)
                     if on_checkpoint is not None:

@@ -35,6 +35,7 @@ from ..resilience.errors import (
     RetryExhaustedError,
     VerificationError,
 )
+from ..observability.metrics import metric_inc, metric_observe
 from ..observability.tracer import trace_event, trace_span
 from ..resilience.guard import BudgetGuard
 from ..resilience.preempt import CancelToken, Deadline, cancel_scope, make_token
@@ -129,6 +130,8 @@ def solve_sssp(g: DiGraph, source: int, *,
                     stage="solve_sssp")
             sp.set(certificate=cert.kind,
                    cycle_length=len(scal.negative_cycle))
+            metric_inc("repro_solves_total", mode=mode,
+                       outcome="negative_cycle")
             if acc is not None:
                 acc.charge_cost(local.snapshot())
             return SsspResult(source, None, None, None, scal.negative_cycle,
@@ -154,6 +157,9 @@ def solve_sssp(g: DiGraph, source: int, *,
         finite = np.isfinite(dist)
         # undo the reweighting: dist_w(s,v) = dist_red(s,v) + p(v) − p(s)
         dist[finite] += price[np.flatnonzero(finite)] - price[source]
+        metric_inc("repro_solves_total", mode=mode, outcome="distances")
+        metric_observe("repro_solve_work", local.work)
+        metric_observe("repro_solve_span_model", local.span_model)
         if acc is not None:
             acc.charge_cost(local.snapshot())
             acc.merge_stages_from(local)
@@ -254,6 +260,8 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
             failure = exc
             trace_event("retry", stage="solve_sssp", attempt=attempt,
                         error=type(exc).__name__)
+            metric_inc("repro_retries_total", stage="solve_sssp",
+                       error=type(exc).__name__)
             continue
         except BudgetExceededError as exc:
             attempts.append(AttemptRecord("solve_sssp", attempt, aseed,
@@ -282,6 +290,9 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
         reason = "retry budget exhausted"
     trace_event("fallback", engine="bellman_ford", reason=reason,
                 attempts=len(attempts))
+    metric_inc("repro_fallbacks_total", engine="bellman_ford",
+               cause=type(failure).__name__ if failure is not None
+               else "retry_exhausted")
     res = _bellman_ford_fallback(g, source, model, acc)
     res.provenance = SolveProvenance(
         engine="fallback:bellman_ford", attempts=attempts,

@@ -25,6 +25,7 @@ import numpy as np
 from ..graph.csr import in_edge_slots
 from ..graph.digraph import DiGraph
 from ..graph.validate import is_dag
+from ..observability.metrics import metric_inc
 from ..observability.tracer import trace_span
 from ..reach.multisource import multisource_reachability
 from ..resilience.errors import InputValidationError, VerificationError
@@ -186,6 +187,10 @@ def dag01_limited_sssp(g: DiGraph, source: int, limit: int, *,
         psp.count("propagate_nodes", st.propagate_node_total)
         psp.count("reach_calls", st.reach_calls)
         psp.count("reach_nodes", st.reach_node_total)
+        metric_inc("repro_peel_rounds_total", rounds)
+        metric_inc("repro_label_changes_total",
+                   int(st.label_changes.sum()))
+        metric_inc("repro_propagate_calls_total", st.propagate_calls)
     if acc is not None:
         acc.charge_cost(local.snapshot())
     return Dag01Result(

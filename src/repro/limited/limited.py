@@ -32,6 +32,7 @@ import numpy as np
 from ..assp.engines import ExactAssp, FaultInjectingAssp
 from ..graph.csr import in_edge_slots
 from ..graph.digraph import DiGraph
+from ..observability.metrics import metric_inc
 from ..observability.tracer import trace_span
 from ..resilience.errors import InputValidationError, RetryExhaustedError
 from ..resilience.errors import VerificationError  # noqa: F401 (re-export)
@@ -117,6 +118,11 @@ def limited_sssp(g: DiGraph, source: int, limit: int, *,
                 lsp.set(retries=attempt, verified=True)
                 lsp.count("refine_calls", calls)
                 lsp.count("refine_nodes", node_total)
+                metric_inc("repro_refine_calls_total", calls)
+                if attempt:
+                    metric_inc("repro_retries_total",
+                               stage="limited_sssp",
+                               error="VerificationError")
                 if acc is not None:
                     acc.charge_cost(local.snapshot())
                 return LimitedSpResult(

@@ -1,6 +1,6 @@
-"""Observability: structured tracing & telemetry for the work-span runtime.
+"""Observability: structured tracing, telemetry & metrics for the runtime.
 
-Two modules (DESIGN.md "Observability"):
+Three modules (DESIGN.md "Observability"):
 
 * :mod:`~repro.observability.tracer` — :class:`Tracer` / :class:`Span`,
   the ambient-tracer installation (:func:`tracing`) and the no-op-when-off
@@ -9,7 +9,14 @@ Two modules (DESIGN.md "Observability"):
 * :mod:`~repro.observability.export` — JSONL and Chrome-trace (Perfetto)
   exporters, :func:`load_trace`, and the :func:`phase_sequence` /
   :func:`stitch_traces` tooling the golden-trace and preemption tests
-  build on.
+  build on;
+* :mod:`~repro.observability.metrics` — :class:`MetricsRegistry`
+  (counters, gauges, histograms with labels) with JSON and Prometheus
+  exporters, installed ambiently with :func:`metering` exactly like the
+  tracer; closing spans bump the registry, and the solver phases record
+  first-class metrics (scales, retries, peel rounds, reach/refine calls,
+  checkpoint bytes) through the no-op-when-off :func:`metric_inc` /
+  :func:`metric_set` / :func:`metric_observe` guards.
 
 Typical use::
 
@@ -44,6 +51,22 @@ from .export import (
     write_jsonl,
     write_trace,
 )
+from .metrics import (
+    METRICS_SCHEMA,
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    load_metrics_json,
+    metering,
+    metric_inc,
+    metric_observe,
+    metric_set,
+    parse_prometheus_text,
+    write_metrics_json,
+)
 
 __all__ = [
     "Span",
@@ -64,4 +87,18 @@ __all__ = [
     "load_trace",
     "phase_sequence",
     "stitch_traces",
+    "METRICS_SCHEMA",
+    "METRICS_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_metrics",
+    "metering",
+    "metric_inc",
+    "metric_set",
+    "metric_observe",
+    "write_metrics_json",
+    "load_metrics_json",
+    "parse_prometheus_text",
 ]

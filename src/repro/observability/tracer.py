@@ -48,6 +48,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..runtime.metrics import CostAccumulator
+from .metrics import MetricsRegistry, current_metrics
 
 __all__ = [
     "Span",
@@ -179,7 +180,9 @@ class Tracer:
     must pass ``detached=True`` with an explicit ``parent``.
     """
 
-    def __init__(self, **meta) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 **meta) -> None:
+        self.metrics = metrics
         self.meta = dict(meta)
         self.spans: list[Span] = []
         self.events: list[TraceEvent] = []
@@ -249,6 +252,12 @@ class Tracer:
                     pc["_child_span"] = pc.get("_child_span", 0.0) + sp.span
                     pc["_child_span_model"] = (
                         pc.get("_child_span_model", 0.0) + sp.span_model)
+        # spans bump metrics: fold the closed span into the bound (or
+        # ambient) registry outside the tracer lock — the registry has its
+        # own per-family locks
+        reg = self.metrics if self.metrics is not None else current_metrics()
+        if reg is not None:
+            reg.span_closed(sp)
 
     def event(self, name: str, **attrs) -> None:
         """Record an instant event under the currently open span."""

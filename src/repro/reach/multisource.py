@@ -21,6 +21,7 @@ import numpy as np
 
 from ..graph.csr import out_edge_slots
 from ..graph.digraph import DiGraph
+from ..observability.metrics import metric_inc
 from ..observability.tracer import trace_span
 from ..runtime.metrics import Cost, CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
@@ -78,6 +79,8 @@ def multisource_reachability(g: DiGraph, sources: np.ndarray,
                        span=local.span,
                        span_model=model.oracle_span(g.n))
         rsp.count("rounds", rounds)
+        metric_inc("repro_reach_calls_total")
+        metric_inc("repro_reach_rounds_total", rounds)
     return ReachResult(pi, rounds, Cost(local.work, local.span,
                                         model.oracle_span(g.n)))
 
@@ -124,6 +127,8 @@ def multisource_reachability_min(g: DiGraph, sources: np.ndarray,
             acc.charge(local.work, span=local.span,
                        span_model=model.oracle_span(g.n))
         rsp.count("rounds", rounds)
+        metric_inc("repro_reach_calls_total")
+        metric_inc("repro_reach_rounds_total", rounds)
     return ReachResult(pi, rounds, Cost(local.work, local.span,
                                         model.oracle_span(g.n)))
 

@@ -163,12 +163,14 @@ def _decode(payload: bytes, path) -> ScaleCheckpoint:
             path=path, reason="schema") from exc
 
 
-def save_checkpoint(path, ck: ScaleCheckpoint) -> None:
+def save_checkpoint(path, ck: ScaleCheckpoint) -> int:
     """Atomically write ``ck`` to ``path`` (temp file + ``os.replace``).
 
     The temp file lives in the destination directory so the replace is
     a same-filesystem atomic rename; a crash at any point leaves either
-    the previous checkpoint or the new one, never a torn file.
+    the previous checkpoint or the new one, never a torn file.  Returns
+    the number of bytes written (header + payload) — the quantity the
+    ``repro_checkpoint_bytes_total`` metric accumulates.
     """
     payload = _encode(ck)
     header = _HEADER.pack(CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
@@ -183,6 +185,7 @@ def save_checkpoint(path, ck: ScaleCheckpoint) -> None:
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, path)
+        return len(header) + len(payload)
     except BaseException:
         try:
             os.unlink(tmp)

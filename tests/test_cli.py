@@ -188,6 +188,21 @@ class TestBench:
         assert rc == 0
         assert "eliminated" in out
 
+    def test_run_writes_records(self, capsys, tmp_path):
+        rc, out, _ = run_cli(capsys, "bench", "run", "e1", "--fast",
+                             "--results-dir", str(tmp_path))
+        assert rc == 0
+        assert (tmp_path / "BENCH_e01_dag01_work.json").exists()
+        assert (tmp_path / "BENCH_summary.json").exists()
+
+    def test_compare_identical_dirs_exit_zero(self, capsys, tmp_path):
+        run_cli(capsys, "bench", "run", "e1", "--fast",
+                "--results-dir", str(tmp_path))
+        rc, out, _ = run_cli(capsys, "bench", "compare",
+                             str(tmp_path), str(tmp_path))
+        assert rc == 0
+        assert "PASS" in out
+
 
 class TestParser:
     def test_requires_command(self):
@@ -197,6 +212,17 @@ class TestParser:
     def test_unknown_bench(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "nope"])
+
+    def test_bench_actions_take_remainder(self):
+        args = build_parser().parse_args(
+            ["bench", "run", "e1", "e5", "--fast"])
+        assert args.experiment == "run"
+        assert args.rest == ["e1", "e5", "--fast"]
+
+    def test_legacy_bench_still_parses(self):
+        args = build_parser().parse_args(["bench", "e9"])
+        assert args.experiment == "e9"
+        assert args.rest == []
 
 
 class TestReport:

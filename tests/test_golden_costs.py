@@ -1,0 +1,83 @@
+"""Golden model-cost snapshots.
+
+Three canned graphs, each solved with a fixed seed, whose exact
+``Cost(work, span, span_model)`` triples are embedded as literals.  Model
+costs are pure functions of (graph, seed) — independent of host, wall
+clock, and worker-pool size (verified below by forcing a one-worker
+pool) — so these are equality assertions, not tolerances: any change to
+cost accounting or solver control flow shows up as a precise diff.
+
+Complements ``test_golden_traces.py`` (which pins the *structural*
+skeleton and integer counters but deliberately not floating-point
+totals) and backs the benchmark pipeline's bit-exact gating claim: if
+these pass, ``repro bench compare`` comparing deterministic columns
+across commits is comparing like with like.
+
+The literals were captured by running the solver once and embedding its
+output.  To re-baseline after an intentional change: rerun, paste the
+new triples, and say why in the commit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sssp import solve_sssp
+from repro.graph.generators import hidden_potential_graph, random_digraph
+from repro.runtime.metrics import Cost
+
+SEED = 7
+
+# case -> (graph factory, has_negative_cycle,
+#          parallel-mode cost, sequential-mode cost)
+GOLDEN = {
+    "hp16": (
+        lambda: hidden_potential_graph(16, 40, seed=1), False,
+        Cost(12223.48480433318, 3648.31657066425, 4002.1893692785893),
+        Cost(2248.724466734709, 538.0505183611444, 538.0505183611444),
+    ),
+    "hp24": (
+        lambda: hidden_potential_graph(24, 70, seed=2), False,
+        Cost(57577.60770578113, 12609.07786968198, 13028.238742383062),
+        Cost(8452.471412342344, 1549.2385992589468, 1549.2385992589468),
+    ),
+    "rd20neg": (
+        lambda: random_digraph(20, 50, min_w=-3, max_w=9, seed=5), True,
+        Cost(822.9630235435134, 298.7285808111313, 368.4947530607073),
+        Cost(184.0, 22.339850002884624, 22.339850002884624),
+    ),
+}
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+@pytest.mark.parametrize("mode", ["parallel", "sequential"])
+def test_golden_cost(case, mode):
+    make, neg, par_cost, seq_cost = GOLDEN[case]
+    res = solve_sssp(make(), 0, seed=SEED, mode=mode)
+    assert res.has_negative_cycle == neg
+    want = par_cost if mode == "parallel" else seq_cost
+    assert res.cost == want
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+def test_golden_cost_pool_size_independent(case, monkeypatch):
+    """The parallel-mode model cost must not depend on the host's CPU
+    count — that is what makes cross-machine bit-exact gating sound."""
+    import repro.runtime.executor as executor
+
+    make, _, par_cost, _ = GOLDEN[case]
+    monkeypatch.setattr(executor.os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(executor, "_default_pool", None)
+    try:
+        res = solve_sssp(make(), 0, seed=SEED, mode="parallel")
+    finally:
+        executor._default_pool = None  # do not leak the 1-worker pool
+    assert res.cost == par_cost
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+def test_golden_cost_repeatable(case):
+    make, _, _, _ = GOLDEN[case]
+    a = solve_sssp(make(), 0, seed=SEED)
+    b = solve_sssp(make(), 0, seed=SEED)
+    assert a.cost == b.cost
