@@ -46,10 +46,48 @@ DEFAULT_BUCKETS = (
     0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
 )
 
+# Every metric name the codebase may emit, with kind and help text.  The
+# RS008 lint rule rejects metric_inc/metric_set/metric_observe calls whose
+# (string-literal) name is missing here, so dashboards, the JSON schema,
+# and the Prometheus exposition never drift from the code.  Add new
+# metrics HERE first, then emit them.
+METRIC_CATALOG: dict[str, tuple[str, str]] = {
+    # solver-level
+    "repro_solves_total": ("counter", "Completed solves by mode"),
+    "repro_solve_work": ("gauge", "Model work of the last solve"),
+    "repro_solve_span_model": ("gauge", "Model span of the last solve"),
+    "repro_fallbacks_total": ("counter", "Fallbacks to the exact baseline"),
+    "repro_retries_total": ("counter", "Certified-retry attempts"),
+    # scaling / reweighting loop
+    "repro_scales_total": ("counter", "Scaling phases entered"),
+    "repro_scale_current": ("gauge", "Current scale index"),
+    "repro_reweighting_iterations_total":
+        ("counter", "Reweighting outer iterations"),
+    # inner algorithm phases
+    "repro_reach_calls_total": ("counter", "Multisource reachability calls"),
+    "repro_reach_rounds_total": ("counter", "BFS rounds inside reachability"),
+    "repro_refine_calls_total": ("counter", "Limited-SSSP refine calls"),
+    "repro_peel_rounds_total": ("counter", "DAG01 peeling rounds"),
+    "repro_label_changes_total": ("counter", "DAG01 label updates"),
+    "repro_propagate_calls_total": ("counter", "DAG01 propagate calls"),
+    # checkpoint / preemption
+    "repro_checkpoint_writes_total": ("counter", "Checkpoints written"),
+    "repro_checkpoint_bytes_total": ("counter", "Checkpoint bytes written"),
+    # span-fold metrics (emitted by MetricsRegistry.span_closed)
+    "repro_spans_total": ("counter", "Closed tracer spans"),
+    "repro_span_wall_seconds": ("histogram", "Span wall time"),
+    "repro_span_work_total": ("counter", "Model work folded from spans"),
+    "repro_span_model_span_total":
+        ("counter", "Model span folded from spans"),
+    "repro_span_errors_total": ("counter", "Spans closed by an exception"),
+    "repro_span_counter_total": ("counter", "Span-local named counters"),
+}
+
 __all__ = [
     "METRICS_SCHEMA",
     "METRICS_SCHEMA_VERSION",
     "DEFAULT_BUCKETS",
+    "METRIC_CATALOG",
     "Counter",
     "Gauge",
     "Histogram",
