@@ -18,6 +18,7 @@ import numpy as np
 
 from ..graph.digraph import DiGraph
 from ..runtime.executor import ForkJoinPool
+from ..runtime.racecheck import race_read, race_write
 from .bellman_ford import BellmanFordResult, bellman_ford
 
 
@@ -43,6 +44,13 @@ def bellman_ford_threaded(g: DiGraph, source: int,
         rounds += 1
 
         def body(lo: int, hi: int) -> None:
+            # shared-memory contract, checked by `repro check --race`:
+            # blocks read the whole dist vector (no block writes it) and
+            # write disjoint cand slices
+            race_read(dist, site="bf.relax:dist")
+            race_read(src, lo, hi, site="bf.relax:src")
+            race_read(w, lo, hi, site="bf.relax:w")
+            race_write(cand, lo, hi, site="bf.relax:cand")
             np.add(dist[src[lo:hi]], w[lo:hi], out=cand[lo:hi])
 
         pool.parallel_for(g.m, body, grain=grain)

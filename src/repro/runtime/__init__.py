@@ -7,11 +7,25 @@ See DESIGN.md ("Substitutions") for how it stands in for parallel hardware.
 from .metrics import Cost, CostAccumulator, ZERO
 from .model import CostModel, DEFAULT_MODEL, lg
 from .pset import SetVector, SortedIntSet
+from .racecheck import (
+    RaceChecker,
+    RaceReport,
+    current_race_checker,
+    race_checking,
+    race_read,
+    race_write,
+)
 from .rng import derive_seed, geometric_priorities, make_rng, priority_cap
 from .executor import ForkJoinPool, default_pool
 from . import primitives
 
 __all__ = [
+    "RaceChecker",
+    "RaceReport",
+    "current_race_checker",
+    "race_checking",
+    "race_read",
+    "race_write",
     "Cost",
     "CostAccumulator",
     "ZERO",

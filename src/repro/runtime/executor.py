@@ -34,6 +34,7 @@ from typing import Callable
 
 from ..observability.tracer import current_tracer, trace_span
 from ..resilience.preempt import CancelToken, current_token
+from .racecheck import current_race_checker
 
 
 class ForkJoinPool:
@@ -76,6 +77,29 @@ class ForkJoinPool:
         if token is not None:
             token.check("parallel_for")
         if n <= 0:
+            return
+        checker = current_race_checker()
+        if checker is not None:
+            # Shadow-memory mode: partition into the checker's *logical*
+            # blocks (a function of the loop, not of pool size) and run
+            # them sequentially under fork-tree task tags — logical races
+            # are detected identically at 1, 2, or 8 workers, and no
+            # physical schedule can hide one.
+            region = checker.open_region()
+            blocks = checker.blocks_for(n, grain)
+            step = (n + blocks - 1) // blocks
+            with trace_span("parallel-for", phase="runtime", n=n,
+                            blocks=blocks, workers=self.n_workers) as psp:
+                nrun = 0
+                for bi, lo in enumerate(range(0, n, step)):
+                    if token is not None:
+                        token.check("parallel_for:block")
+                    with checker.task(region, bi):
+                        body(lo, min(lo + step, n))
+                    nrun += 1
+                psp.count("blocks_run", nrun)
+                if token is not None:
+                    token.check("parallel_for:join")
             return
         if self._pool is None or n <= grain:
             with trace_span("parallel-for", phase="runtime", n=n,

@@ -15,6 +15,7 @@ import numpy as np
 
 from .metrics import CostAccumulator
 from .model import CostModel, DEFAULT_MODEL
+from .racecheck import race_read, race_write
 
 
 class SortedIntSet:
@@ -40,6 +41,7 @@ class SortedIntSet:
               acc: CostAccumulator | None = None,
               model: CostModel = DEFAULT_MODEL) -> None:
         """Union ``other`` into this set (in place)."""
+        race_write(self, label="SortedIntSet", site="pset.merge")
         arr = other._data if isinstance(other, SortedIntSet) else \
             np.unique(np.asarray(other, dtype=np.int64))
         if acc is not None:
@@ -56,6 +58,7 @@ class SortedIntSet:
     def enumerate(self, acc: CostAccumulator | None = None,
                   model: CostModel = DEFAULT_MODEL) -> np.ndarray:
         """All elements, ascending.  Returns a read-only view."""
+        race_read(self, label="SortedIntSet", site="pset.enumerate")
         if acc is not None:
             acc.charge_cost(model.set_enumerate(len(self._data)))
         view = self._data.view()
@@ -64,6 +67,7 @@ class SortedIntSet:
 
     def clear(self, acc: CostAccumulator | None = None,
               model: CostModel = DEFAULT_MODEL) -> None:
+        race_write(self, label="SortedIntSet", site="pset.clear")
         if acc is not None:
             acc.charge_cost(model.set_enumerate(len(self._data)))
         self._data = np.empty(0, dtype=np.int64)
@@ -72,6 +76,7 @@ class SortedIntSet:
                           acc: CostAccumulator | None = None,
                           model: CostModel = DEFAULT_MODEL) -> None:
         """Remove the sorted keys in ``other`` from this set."""
+        race_write(self, label="SortedIntSet", site="pset.difference_update")
         arr = np.asarray(other, dtype=np.int64)
         if acc is not None:
             small, big = sorted((len(arr), len(self._data)))
@@ -120,6 +125,7 @@ class SetVector:
                acc: CostAccumulator | None = None,
                model: CostModel = DEFAULT_MODEL) -> np.ndarray:
         """Flat array of all elements across the identified sets."""
+        race_read(self, label="SetVector", site="pset.gather")
         parts = [self._sets[int(i)]._data for i in idents]
         total = sum(len(p) for p in parts)
         if acc is not None:
@@ -132,5 +138,6 @@ class SetVector:
     def clear_many(self, idents: np.ndarray | list[int],
                    acc: CostAccumulator | None = None,
                    model: CostModel = DEFAULT_MODEL) -> None:
+        race_write(self, label="SetVector", site="pset.clear_many")
         for i in idents:
             self._sets[int(i)].clear(acc, model)
