@@ -79,6 +79,9 @@ EXIT_INVALID_INPUT = 2
 EXIT_NEGATIVE_CYCLE = 3
 EXIT_EXHAUSTED = 4
 EXIT_DEADLINE = 5
+EXIT_FINDINGS = 6         # `check` found lint findings or races
+
+DEFAULT_STATICS_BASELINE = pathlib.Path("statics_baseline.json")
 
 DEFAULT_RESULTS_DIR = pathlib.Path("benchmarks") / "results"
 DEFAULT_BASELINE_DIR = pathlib.Path("benchmarks") / "baselines"
@@ -187,6 +190,31 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--output", default="REPORT.md")
     pr.add_argument("--fast", action="store_true",
                     help="shrunken sweeps (< 1 minute)")
+
+    pc = sub.add_parser(
+        "check",
+        help="static determinism lint (RS001-RS010) and fork-join race "
+             "check; exits 6 on findings")
+    pc.add_argument("--lint", action="store_true",
+                    help="run only the static rules")
+    pc.add_argument("--race", action="store_true",
+                    help="run only the race probes")
+    pc.add_argument("--format", choices=("text", "json"), default="text")
+    pc.add_argument("--paths", nargs="+", default=["src"],
+                    help="files/directories to lint (default: src)")
+    pc.add_argument("--rules", default=None,
+                    help="comma-separated rule ids (default: all)")
+    pc.add_argument("--baseline", default=None, metavar="PATH",
+                    help="grandfathered-findings file (default: "
+                         "statics_baseline.json if present)")
+    pc.add_argument("--probe", action="append", default=None,
+                    dest="probes", metavar="NAME",
+                    help="race probe to run (repeatable; default: all "
+                         "registered probes)")
+    pc.add_argument("--pool-sizes", default="1,2,8",
+                    help="comma-separated ForkJoinPool sizes for --race")
+    pc.add_argument("--output", default=None, metavar="PATH",
+                    help="also write the JSON report to PATH")
     return p
 
 
@@ -463,6 +491,77 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    import json as _json
+
+    from .statics import lint_paths, rules_by_id, run_race_probes
+    from .statics.engine import Baseline
+
+    do_lint = args.lint or not args.race
+    do_race = args.race or not args.lint
+
+    payload: dict = {"schema": "repro-check/1"}
+    ok = True
+
+    if do_lint:
+        try:
+            rules = (rules_by_id(args.rules.split(","))
+                     if args.rules else None)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_INVALID_INPUT
+        baseline = None
+        baseline_path = (pathlib.Path(args.baseline) if args.baseline
+                         else DEFAULT_STATICS_BASELINE)
+        if baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except ValueError as exc:
+                print(f"error: bad baseline {baseline_path}: {exc}",
+                      file=sys.stderr)
+                return EXIT_INVALID_INPUT
+        elif args.baseline is not None:
+            print(f"error: baseline {baseline_path} not found",
+                  file=sys.stderr)
+            return EXIT_INVALID_INPUT
+        try:
+            lint = lint_paths(args.paths, rules=rules, baseline=baseline)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_INVALID_INPUT
+        payload["lint"] = lint.to_json()
+        ok = ok and lint.ok
+        if args.format == "text":
+            print(lint.render())
+    if do_race:
+        try:
+            pool_sizes = tuple(
+                int(s) for s in str(args.pool_sizes).split(",") if s)
+            if not pool_sizes or any(s < 1 for s in pool_sizes):
+                raise ValueError(args.pool_sizes)
+        except ValueError:
+            print(f"error: bad --pool-sizes {args.pool_sizes!r}",
+                  file=sys.stderr)
+            return EXIT_INVALID_INPUT
+        try:
+            races = run_race_probes(args.probes, pool_sizes=pool_sizes)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return EXIT_INVALID_INPUT
+        payload["race"] = races.to_json()
+        ok = ok and races.ok
+        if args.format == "text":
+            print(races.render())
+
+    payload["ok"] = ok
+    text = _json.dumps(payload, indent=2, sort_keys=True)
+    if args.format == "json":
+        print(text)
+    if args.output:
+        pathlib.Path(args.output).write_text(text + "\n")
+    return EXIT_OK if ok else EXIT_FINDINGS
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "solve":
@@ -473,6 +572,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_report(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "check":
+        return cmd_check(args)
     return cmd_bench(args)
 
 
