@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..runtime.rng import make_rng
 from .benchjson import list_bench_json, load_bench_json
 
 # Column-name patterns treated as nondeterministic wall-clock measurements.
@@ -171,7 +172,7 @@ def bootstrap_median_ratio_ci(baseline, candidate, *, n_boot: int = 2000,
     if base_med <= 0:
         raise ValueError("baseline median must be positive")
     ratio = float(np.median(candidate)) / base_med
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     bs = rng.choice(baseline, size=(n_boot, len(baseline)), replace=True)
     cs = rng.choice(candidate, size=(n_boot, len(candidate)), replace=True)
     bm = np.median(bs, axis=1)
@@ -204,7 +205,7 @@ def _compare_deterministic(bench_id: str, baseline: dict, candidate: dict
             return [Verdict(bench_id, "rows", REGRESSION,
                             f"row {i} params changed: {br['params']} -> "
                             f"{cr['params']}")]
-        keys = set(br["values"]) | set(cr["values"])
+        keys = sorted(set(br["values"]) | set(cr["values"]))
         for key in keys:
             if is_wallclock_column(key):
                 continue
