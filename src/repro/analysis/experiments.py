@@ -237,7 +237,7 @@ def run_reweighting_iterations(sizes=(50, 200, 800), seed=0) -> list[Row]:
                         res.stats.iterations / math.sqrt(max(K, 1)),
                     "methods": dict(
                         (m, res.stats.methods.count(m))
-                        for m in set(res.stats.methods))}))
+                        for m in sorted(set(res.stats.methods)))}))
     return rows
 
 
