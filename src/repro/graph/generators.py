@@ -347,7 +347,7 @@ def power_law_digraph(n: int, attach: int = 3, *, max_cost: int = 6,
         k = min(attach, v)
         picks = rng.choice(len(targets), size=k)
         chosen = {int(targets[p]) for p in picks}
-        for u in chosen:
+        for u in sorted(chosen):
             srcs.append(v)
             dsts.append(u)
             targets.append(u)
