@@ -134,7 +134,7 @@ def _delta_stepping(g: DiGraph, source: int, w: np.ndarray,
     i = 0
     wf = w.astype(np.float64)
     while buckets:
-        while i not in buckets and buckets:
+        while i not in buckets and buckets:  # repro: noqa[RS001] bucket-index advance: total scans bounded by #buckets, dominated by the per-relaxation bfs_round charges
             i = min(buckets.keys())
         if not buckets:
             break
@@ -177,7 +177,7 @@ def _relax_from(g: DiGraph, frontier: np.ndarray, wf: np.ndarray,
     old = dist.copy()
     np.minimum.at(dist, targets, cand)
     improved = np.flatnonzero(dist < old)
-    for v in improved.tolist():
+    for v in improved.tolist():  # repro: noqa[RS001] reinsertion is O(|improved|) <= |slots|, covered by the bfs_round charge in this call
         b = int(dist[v] // delta)
         bucket_of[v] = b
         buckets.setdefault(b, []).append(v)

@@ -41,12 +41,12 @@ def dag_sssp(g: DiGraph, source: int, weights: np.ndarray | None = None,
     parent = np.full(g.n, -1, dtype=np.int64)
     dist[source] = 0.0
     indptr, indices = g.indptr, g.indices
-    for u in order.tolist():
+    for u in order.tolist():  # repro: noqa[RS001] sequential baseline: acc.charge(n+m, n+m) above covers the full relaxation
         du = dist[u]
         if du == np.inf:
             continue
         lo, hi = int(indptr[u]), int(indptr[u + 1])
-        for slot in range(lo, hi):
+        for slot in range(lo, hi):  # repro: noqa[RS001] edge scan, covered by the n+m pre-charge
             v = int(indices[slot])
             nd = du + w[slot]
             if nd < dist[v]:

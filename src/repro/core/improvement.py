@@ -197,7 +197,7 @@ def _find_chain_or_levels(cg: DiGraph, L: int, mode: str, seed,
     # negative edges — they form the chain
     chain: list[tuple[int, int]] = []
     v = int(deep[0])
-    while v != s_star and seq.parent[v] >= 0:
+    while v != s_star and seq.parent[v] >= 0:  # repro: noqa[RS001] predecessor walk O(n), covered by the step-2 sequential solve's own ledger
         u = int(seq.parent[v])
         if u != s_star and h.min_weight_between(u, v) == -1:
             chain.append((u, v))
@@ -237,7 +237,7 @@ def _step3_chain(g: DiGraph, w_red: np.ndarray, cond: Condensation,
     s_hat = cg.n
     w_hat = np.maximum(cg.w, 0)
     super_w = np.full(cg.n, L, dtype=np.int64)
-    for i, (_, v) in enumerate(chain, start=1):
+    for i, (_, v) in enumerate(chain, start=1):  # repro: noqa[RS001] O(|chain|) <= L supersource setup, covered by the map charges in this stage
         super_w[v] = L - i
     src = np.r_[cg.src, np.full(cg.n, s_hat, dtype=np.int64)]
     dst = np.r_[cg.dst, np.arange(cg.n, dtype=np.int64)]

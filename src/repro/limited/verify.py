@@ -114,7 +114,7 @@ def shortest_path_tree(g: DiGraph, source: int, dist: np.ndarray,
     entry_vertex = np.full(cond.n_components, -1, dtype=np.int64)
     src_comp = int(comp[source])
     entry_vertex[src_comp] = source
-    for c in range(cond.n_components):
+    for c in range(cond.n_components):  # repro: noqa[RS001] O(n_components) <= n entry-edge stitch, covered by the map(m) charge above
         e = int(entry_edge[c])
         if c == src_comp or e < 0:
             continue
