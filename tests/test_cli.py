@@ -1,6 +1,5 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -236,3 +235,105 @@ class TestReport:
         # every experiment section present
         for exp_id in ("E1", "E5", "E9", "E13", "E15", "A4"):
             assert f"## {exp_id}" in text
+
+
+class TestCheck:
+    CLEAN = "def f(acc, n):\n    acc.charge(n)\n"
+    DIRTY = "s = {1, 2}\nout = list(s)\n"
+
+    def test_clean_file_exits_0(self, capsys, tmp_path):
+        p = tmp_path / "clean.py"
+        p.write_text(self.CLEAN)
+        rc, out, _ = run_cli(capsys, "check", "--lint", "--paths", str(p))
+        assert rc == 0
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_6(self, capsys, tmp_path):
+        p = tmp_path / "dirty.py"
+        p.write_text(self.DIRTY)
+        rc, out, _ = run_cli(capsys, "check", "--lint", "--paths", str(p))
+        assert rc == 6
+        assert "RS004" in out
+
+    def test_json_format(self, capsys, tmp_path):
+        import json as _json
+
+        p = tmp_path / "dirty.py"
+        p.write_text(self.DIRTY)
+        rc, out, _ = run_cli(capsys, "check", "--lint", "--format", "json",
+                             "--paths", str(p))
+        assert rc == 6
+        doc = _json.loads(out)
+        assert doc["ok"] is False
+        assert doc["lint"]["findings"][0]["rule"] == "RS004"
+
+    def test_output_file_written(self, capsys, tmp_path):
+        import json as _json
+
+        p = tmp_path / "clean.py"
+        p.write_text(self.CLEAN)
+        dest = tmp_path / "report.json"
+        rc, _, _ = run_cli(capsys, "check", "--lint", "--paths", str(p),
+                           "--output", str(dest))
+        assert rc == 0
+        assert _json.loads(dest.read_text())["ok"] is True
+
+    def test_rule_selection(self, capsys, tmp_path):
+        p = tmp_path / "dirty.py"
+        p.write_text(self.DIRTY)
+        rc, _, _ = run_cli(capsys, "check", "--lint", "--paths", str(p),
+                           "--rules", "RS001")
+        assert rc == 0  # RS004 not selected
+
+    def test_unknown_rule_exits_2(self, capsys, tmp_path):
+        rc, _, err = run_cli(capsys, "check", "--lint", "--rules", "RS999",
+                             "--paths", str(tmp_path))
+        assert rc == 2
+        assert "RS999" in err
+
+    def test_missing_baseline_exits_2(self, capsys, tmp_path):
+        p = tmp_path / "clean.py"
+        p.write_text(self.CLEAN)
+        rc, _, err = run_cli(capsys, "check", "--lint", "--paths", str(p),
+                             "--baseline", str(tmp_path / "nope.json"))
+        assert rc == 2
+
+    def test_race_clean_probe_exits_0(self, capsys):
+        rc, out, _ = run_cli(capsys, "check", "--race",
+                             "--probe", "bf-threaded", "--pool-sizes", "1")
+        assert rc == 0
+        assert "OK" in out
+
+    def test_race_racy_demo_exits_6(self, capsys):
+        rc, out, _ = run_cli(capsys, "check", "--race",
+                             "--probe", "racy-demo", "--pool-sizes", "1,2")
+        assert rc == 6
+        assert "write-write" in out
+
+    def test_race_bad_pool_sizes_exits_2(self, capsys):
+        rc, _, err = run_cli(capsys, "check", "--race",
+                             "--pool-sizes", "0,x")
+        assert rc == 2
+
+    def test_race_unknown_probe_exits_2(self, capsys):
+        rc, _, err = run_cli(capsys, "check", "--race",
+                             "--probe", "no-such", "--pool-sizes", "1")
+        assert rc == 2
+        assert "unknown race probe" in err
+
+    def test_exit_code_6_is_distinct(self):
+        from repro.cli import (
+            EXIT_DEADLINE,
+            EXIT_EXHAUSTED,
+            EXIT_FINDINGS,
+            EXIT_INVALID_INPUT,
+            EXIT_NEGATIVE_CYCLE,
+            EXIT_OK,
+            EXIT_REGRESSION,
+        )
+
+        codes = [EXIT_OK, EXIT_REGRESSION, EXIT_INVALID_INPUT,
+                 EXIT_NEGATIVE_CYCLE, EXIT_EXHAUSTED, EXIT_DEADLINE,
+                 EXIT_FINDINGS]
+        assert len(set(codes)) == len(codes)
+        assert EXIT_FINDINGS == 6
