@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.runtime import Cost, CostAccumulator, CostModel, DEFAULT_MODEL, lg
+from repro.runtime import CostAccumulator, CostModel, DEFAULT_MODEL, lg
 
 
 class TestFormulas:

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.runtime import CostAccumulator, DEFAULT_MODEL
+from repro.runtime import CostAccumulator
 from repro.runtime.model import lg
 from repro.runtime.primitives import (
     dedupe,

@@ -7,7 +7,6 @@ These run in a few seconds each and guard against superlinear blow-ups
 import time
 
 import numpy as np
-import pytest
 
 from repro.baselines import bellman_ford
 from repro.core import solve_sssp
