@@ -1,0 +1,44 @@
+"""E19 — ``map_blocks`` scaling across the execution backends.
+
+The kernel is pure Python, i.e. GIL-bound: the thread rung cannot beat
+serial on it, which is the structural argument for the process rung
+(``ProcessForkJoinPool`` buys real cores at the price of pickling and
+worker supervision).  Two claims are asserted here, one hard and one
+statistical:
+
+* **hard**: results are bit-identical across serial, thread, and
+  process — the portable ``map_blocks`` contract (pure function of
+  ``(lo, hi)``) that the fault-recovery and chaos suites lean on;
+* **statistical**: raw per-backend wall-clock samples go into the BENCH
+  record's ``wallclock`` section so ``repro bench compare`` can gate
+  regressions (e.g. dispatch-loop overhead creep) across commits.
+  Absolute speedups are *not* asserted — CI hosts may expose a single
+  core, where every backend degenerates to serial throughput.
+"""
+
+from _bench_utils import save_table
+from repro.analysis.experiments import run_backend_scaling
+
+N = 400_000
+REPEATS = 7
+SANITY_FLOOR = 0.2   # any backend slower than 5x serial is broken
+
+
+def test_e19_backend_scaling_table(benchmark):
+    raw = {}
+    rows = benchmark.pedantic(
+        run_backend_scaling,
+        kwargs={"n": N, "n_workers": 2, "repeats": REPEATS,
+                "raw_out": raw},
+        rounds=1, iterations=1)
+    assert {r.params["backend"] for r in rows} == {"serial", "thread",
+                                                   "process"}
+    for r in rows:
+        assert r.values["identical"], "backend changed the answer"
+        assert r.values["speedup_vs_serial"] > SANITY_FLOOR, r.params
+    save_table(rows, "e19_backend_scaling",
+               "E19 — map_blocks throughput by backend (GIL-bound "
+               "kernel; results bit-identical, wall-clock gated "
+               "statistically)",
+               wallclock=raw,
+               meta={"n": N, "repeats": REPEATS, "workers": 2})

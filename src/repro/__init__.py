@@ -48,8 +48,17 @@ from .resilience import (
     RetryExhaustedError,
     RetryPolicy,
     VerificationError,
+    WorkerPoolError,
 )
-from .runtime import Cost, CostAccumulator, CostModel
+from .runtime import (
+    Cost,
+    CostAccumulator,
+    CostModel,
+    DegradationLadder,
+    ForkJoinPool,
+    ProcessForkJoinPool,
+    SerialBackend,
+)
 
 __version__ = "1.0.0"
 
@@ -80,6 +89,11 @@ __all__ = [
     "FaultPlan",
     "RetryPolicy",
     "BudgetGuard",
+    "WorkerPoolError",
+    "ForkJoinPool",
+    "SerialBackend",
+    "ProcessForkJoinPool",
+    "DegradationLadder",
     "analysis",
     "assp",
     "baselines",

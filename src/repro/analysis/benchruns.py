@@ -104,6 +104,11 @@ BENCH_RUNS: list[BenchSpec] = [
     BenchSpec("E15", "e15_family_robustness",
               "robustness across graph families",
               ex.run_family_robustness, dict(n=400), dict(n=150)),
+    BenchSpec("E19", "e19_backend_scaling",
+              "map_blocks throughput by execution backend",
+              ex.run_backend_scaling,
+              dict(n=400_000, n_workers=2, repeats=7),
+              dict(n=60_000, n_workers=2, repeats=3)),
     BenchSpec("A4", "a4_cost_breakdown",
               "per-stage work breakdown",
               ex.run_cost_breakdown, dict(sizes=(128, 512)),

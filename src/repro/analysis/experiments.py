@@ -479,3 +479,73 @@ def run_family_robustness(n: int = 400, seed=0) -> list[Row]:
                     "parallelism": res.cost.parallelism,
                     "correct": True}))
     return rows
+
+
+def _python_burn_block(lo: int, hi: int, weight: int) -> int:
+    """A deliberately GIL-bound kernel: pure-Python arithmetic, no numpy.
+
+    Module-level (hence picklable) so the process backend can ship it to
+    workers; deterministic in ``(lo, hi)`` so any backend may re-execute
+    or duplicate blocks and the results stay identical.
+    """
+    acc = 0
+    for i in range(lo, hi):
+        acc += (i * weight) % 1009
+    return acc
+
+
+def run_backend_scaling(n: int = 200_000, n_workers: int = 2,
+                        repeats: int = 5, grain: int | None = None,
+                        raw_out: dict | None = None) -> list[Row]:
+    """E19: ``map_blocks`` throughput across the execution backends.
+
+    The kernel is pure Python, so the thread rung is GIL-bound (its
+    speedup over serial hovers near 1x) while the process rung can use
+    real cores — the structural reason ``ProcessForkJoinPool`` exists.
+    Results must be bit-identical across all three backends (that is
+    the portable-contract claim the chaos suite leans on); wall-clock
+    is measured best-of-``repeats`` with the pools pre-warmed so spawn
+    cost is amortised, and raw samples land in ``raw_out`` (when given)
+    for the statistical gate.
+    """
+    from ..runtime.backends import ProcessForkJoinPool, SerialBackend
+    from ..runtime.executor import ForkJoinPool
+
+    g = grain if grain is not None else max(1, n // (4 * n_workers))
+    backends = [
+        ("serial", SerialBackend(grain=g)),
+        ("thread", ForkJoinPool(n_workers, grain=g)),
+        ("process", ProcessForkJoinPool(n_workers, grain=g)),
+    ]
+    rows = []
+    try:
+        outputs = {}
+        samples: dict[str, list[float]] = {}
+        for name, be in backends:
+            be.map_blocks(n, _python_burn_block, (3,))  # warm the pool
+            samples[name] = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                outputs[name] = be.map_blocks(n, _python_burn_block, (3,))
+                samples[name].append(time.perf_counter() - t0)
+        # thread and process share worker count + grain, hence the same
+        # partition: their block lists must match exactly.  The serial
+        # rung runs inline as one block, so compare its (associative,
+        # integer) total instead.
+        identical = (outputs["thread"] == outputs["process"]
+                     and sum(outputs["serial"]) == sum(outputs["thread"]))
+        serial_best = min(samples["serial"])
+        for name, _ in backends:
+            best = min(samples[name])
+            rows.append(Row(
+                params={"backend": name, "n": n, "workers": n_workers},
+                values={"best_s": round(best, 4),
+                        "speedup_vs_serial": round(serial_best / best, 3),
+                        "blocks": len(outputs[name]),
+                        "identical": identical}))
+        if raw_out is not None:
+            raw_out.update(samples)
+    finally:
+        for _, be in backends:
+            be.shutdown()
+    return rows

@@ -5,7 +5,7 @@ from .bellman_ford import (
     bellman_ford,
     bellman_ford_distance_only,
 )
-from .bellman_ford_threaded import bellman_ford_threaded
+from .bellman_ford_threaded import bellman_ford_parallel, bellman_ford_threaded
 from .dag_relax import DagSsspResult, dag_limited_sssp_reference, dag_sssp
 from .dial import DialResult, dial_sssp
 from .dijkstra import DijkstraResult, dijkstra
@@ -16,6 +16,7 @@ __all__ = [
     "bellman_ford",
     "bellman_ford_distance_only",
     "bellman_ford_threaded",
+    "bellman_ford_parallel",
     "DialResult",
     "dial_sssp",
     "DagSsspResult",

@@ -71,7 +71,9 @@ from .resilience import (
     CheckpointError,
     InputValidationError,
     RetryExhaustedError,
+    WorkerPoolError,
 )
+from .runtime import BACKEND_NAMES, DegradationLadder
 
 EXIT_OK = 0
 EXIT_REGRESSION = 1       # `bench compare` found a regression
@@ -159,6 +161,19 @@ def build_parser() -> argparse.ArgumentParser:
                     default="jsonl",
                     help="trace file format: jsonl (repro tooling) or "
                          "chrome (chrome://tracing / Perfetto)")
+    ps.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                    help="execution backend for block-parallel work "
+                         "(default: classic in-process execution); "
+                         "'process' starts a fault-tolerant worker pool "
+                         "that degrades process->thread->serial instead "
+                         "of crashing")
+    ps.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="worker count for --backend thread/process "
+                         "(default: CPU count, capped at 8)")
+    ps.add_argument("--liveness-timeout", type=float, default=2.0,
+                    metavar="SECONDS",
+                    help="--backend process: a worker silent this long "
+                         "is presumed hung and replaced (default 2.0)")
 
     pg = sub.add_parser("generate", help="emit a workload as DIMACS")
     pg.add_argument("family", choices=sorted(_GENERATORS))
@@ -238,6 +253,19 @@ def cmd_solve(args) -> int:
     if args.resume and args.checkpoint is None:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return EXIT_INVALID_INPUT
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    if args.liveness_timeout <= 0:
+        print("error: --liveness-timeout must be > 0 seconds",
+              file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    backend = None
+    if args.backend is not None:
+        backend = DegradationLadder.for_backend(
+            args.backend, n_workers=args.workers,
+            **({"liveness_timeout": args.liveness_timeout}
+               if args.backend == "process" else {}))
 
     # with a checkpoint in play, turn SIGINT/SIGTERM into a *cooperative*
     # cancellation: the solve stops at the next phase boundary with the
@@ -262,7 +290,8 @@ def cmd_solve(args) -> int:
                 g, source, mode=args.mode, seed=args.seed,
                 max_retries=args.max_retries, max_work=args.max_work,
                 fallback=args.fallback, deadline=args.deadline, token=token,
-                checkpoint_path=args.checkpoint, resume=args.resume)
+                checkpoint_path=args.checkpoint, resume=args.resume,
+                backend=backend)
     except InputValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_INVALID_INPUT
@@ -276,12 +305,15 @@ def cmd_solve(args) -> int:
             print(f"c resume with: --checkpoint {args.checkpoint} --resume",
                   file=sys.stderr)
         return EXIT_DEADLINE
-    except (RetryExhaustedError, BudgetExceededError) as exc:
+    except (RetryExhaustedError, BudgetExceededError,
+            WorkerPoolError) as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return EXIT_EXHAUSTED
     finally:
         for sig, handler in previous_handlers.items():
             signal.signal(sig, handler)
+        if backend is not None:
+            backend.shutdown()
         # export even when the solve errored/was interrupted: a partial
         # trace is exactly what post-mortem analysis needs
         if tracer is not None:
@@ -299,6 +331,17 @@ def cmd_solve(args) -> int:
     elif prov is not None and prov.retries:
         print(f"c verified after {prov.retries} retr"
               f"{'y' if prov.retries == 1 else 'ies'}", file=sys.stderr)
+    if prov is not None and prov.backend is not None:
+        print(f"c backend {prov.backend}", file=sys.stderr)
+        for d in prov.demotions:
+            print(f"c backend demoted {d['from']} -> {d['to']}: "
+                  f"{d['reason']}", file=sys.stderr)
+        if prov.worker_losses:
+            print(f"c absorbed {len(prov.worker_losses)} worker "
+                  f"loss(es): "
+                  + ", ".join(f"w{x['wid']} {x['kind']}"
+                              for x in prov.worker_losses),
+                  file=sys.stderr)
     if res.has_negative_cycle:
         cyc = " ".join(str(v + 1) for v in res.negative_cycle)
         print(f"negative cycle: {cyc}")

@@ -34,15 +34,27 @@ from ..resilience.errors import (
     NegativeCycleError,
     RetryExhaustedError,
     VerificationError,
+    WorkerPoolError,
 )
 from ..observability.metrics import metric_inc, metric_observe
 from ..observability.tracer import trace_event, trace_span
 from ..resilience.guard import BudgetGuard
 from ..resilience.preempt import CancelToken, Deadline, cancel_scope, make_token
 from ..resilience.retry import AttemptRecord, RetryPolicy, SolveProvenance
+from ..runtime.backends import resolve_backend
 from ..runtime.metrics import Cost, CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
 from .scaling import ScalingStats, scaled_reweighting
+
+
+def _reduced_weights_block(lo: int, hi: int, src: np.ndarray,
+                           dst: np.ndarray, w: np.ndarray,
+                           price: np.ndarray) -> np.ndarray:
+    """One block of the reduced-weight map ``w + p(src) − p(dst)`` — a
+    pure function of ``(lo, hi)``, so any backend (serial, thread,
+    process) may execute or re-execute it and the concatenation is
+    bit-identical to the whole-array expression."""
+    return w[lo:hi] + price[src[lo:hi]] - price[dst[lo:hi]]
 
 
 @dataclass
@@ -85,7 +97,7 @@ def solve_sssp(g: DiGraph, source: int, *,
                guard: BudgetGuard | None = None,
                token: CancelToken | None = None,
                checkpoint_path=None, resume: bool = False,
-               on_checkpoint=None) -> SsspResult:
+               on_checkpoint=None, backend=None) -> SsspResult:
     """Single-source shortest paths with integer (possibly negative) weights.
 
     Parameters
@@ -109,9 +121,30 @@ def solve_sssp(g: DiGraph, source: int, *,
         deadline checks at phase boundaries and in the primitives below,
         plus phase-level checkpointing of the scaling loop with verified
         resume.  A resumed solve is bit-identical to an uninterrupted one.
+    backend :
+        An :class:`~repro.runtime.backends.ExecutionBackend` (or one of
+        the names ``"serial"``/``"thread"``/``"process"``, which builds a
+        degradation ladder for the duration of the call) executing the
+        backend-portable block maps.  The backend changes *physical*
+        execution only: model costs are charged identically on every
+        backend, so results — distances and
+        :class:`~repro.runtime.metrics.Cost` — are bit-identical to
+        ``backend=None``.
     """
+    if isinstance(backend, str):
+        with resolve_backend(backend) as be:
+            return solve_sssp(
+                g, source, mode=mode, assp_engine=assp_engine, eps=eps,
+                seed=seed, acc=acc, model=model,
+                check_certificates=check_certificates,
+                fault_plan=fault_plan, retry_policy=retry_policy,
+                guard=guard, token=token, checkpoint_path=checkpoint_path,
+                resume=resume, on_checkpoint=on_checkpoint, backend=be)
     if not (0 <= source < g.n):
         raise InputValidationError("source out of range")
+    if (backend is not None and fault_plan is not None
+            and hasattr(backend, "install_fault_plan")):
+        backend.install_fault_plan(fault_plan)
     local = CostAccumulator()
     with trace_span("solve", acc=local, phase="solve", mode=mode,
                     n=g.n, m=g.m, source=source, seed=seed) as sp:
@@ -146,7 +179,16 @@ def solve_sssp(g: DiGraph, source: int, *,
         sp.set(certificate=cert.kind)
         if token is not None:
             token.check("sssp:final-dijkstra")
-        w_red = g.w + price[g.src] - price[g.dst] if g.m else g.w
+        if backend is not None and g.m:
+            # physical execution of the reduced-weight map moves to the
+            # backend; the model cost charged below is unchanged, which is
+            # what keeps golden costs bit-exact across backends
+            parts = backend.map_blocks(
+                g.m, _reduced_weights_block, (g.src, g.dst, g.w, price),
+                token=token)
+            w_red = np.concatenate(parts)
+        else:
+            w_red = g.w + price[g.src] - price[g.dst] if g.m else g.w
         local.charge_cost(model.map(g.m))
         with local.stage("final-dijkstra"), \
                 trace_span("final-dijkstra", acc=local, phase="solve") as dsp:
@@ -182,7 +224,7 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
                          deadline: "Deadline | float | None" = None,
                          token: CancelToken | None = None,
                          checkpoint_path=None, resume: bool = False,
-                         on_checkpoint=None) -> SsspResult:
+                         on_checkpoint=None, backend=None) -> SsspResult:
     """Self-checking SSSP: verify, retry with fresh randomness, degrade.
 
     The Las Vegas solve is attempted up to ``retry_policy.max_attempts``
@@ -221,7 +263,27 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
     price or validated cycle) that is re-checked independently here before
     being returned.  ``raise_on_cycle`` converts cycle results into
     :class:`~repro.resilience.errors.NegativeCycleError`.
+
+    ``backend`` selects the execution substrate (see :func:`solve_sssp`);
+    a name builds a :class:`~repro.runtime.backends.DegradationLadder`
+    owned by this call.  A
+    :class:`~repro.resilience.errors.WorkerPoolError` that survives the
+    ladder (every rung exhausted) is treated like budget exhaustion: the
+    solve degrades to Bellman–Ford — executed in-process, the most
+    reliable substrate left — instead of crashing.  The provenance
+    records the final rung, every ladder demotion, and every worker loss
+    absorbed along the way.
     """
+    if isinstance(backend, str):
+        with resolve_backend(backend) as be:
+            return solve_sssp_resilient(
+                g, source, mode=mode, assp_engine=assp_engine, eps=eps,
+                seed=seed, acc=acc, model=model, retry_policy=retry_policy,
+                max_retries=max_retries, fault_plan=fault_plan,
+                max_work=max_work, max_span=max_span, fallback=fallback,
+                raise_on_cycle=raise_on_cycle, deadline=deadline,
+                token=token, checkpoint_path=checkpoint_path,
+                resume=resume, on_checkpoint=on_checkpoint, backend=be)
     validate_graph(g, source)
     if max_retries is not None and retry_policy is None:
         retry_policy = RetryPolicy(max_attempts=max_retries + 1)
@@ -246,7 +308,8 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
                     retry_policy=policy, guard=guard, token=token,
                     checkpoint_path=checkpoint_path if primary else None,
                     resume=resume and primary,
-                    on_checkpoint=on_checkpoint if primary else None)
+                    on_checkpoint=on_checkpoint if primary else None,
+                    backend=backend)
         except DeadlineExceededError as exc:
             attempts.append(AttemptRecord("solve_sssp", attempt, aseed,
                                           False,
@@ -269,14 +332,25 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
                                           f"{type(exc).__name__}: {exc}"))
             failure = exc
             break  # spent work is not refundable — no further attempts
+        except WorkerPoolError as exc:
+            # the execution substrate itself failed past every ladder
+            # rung — retrying on the same substrate cannot help, so break
+            # straight to the in-process fallback
+            attempts.append(AttemptRecord("solve_sssp", attempt, aseed,
+                                          False,
+                                          f"{type(exc).__name__}: {exc}"))
+            failure = exc
+            break
         attempts.append(AttemptRecord("solve_sssp", attempt, aseed, True))
         res.provenance = SolveProvenance(
             engine=mode, attempts=attempts,
             faults=fault_plan.summary() if fault_plan is not None else None)
+        res.provenance.record_backend(backend)
         return _finish(g, res, raise_on_cycle)
 
     if not fallback:
-        if isinstance(failure, (BudgetExceededError, DeadlineExceededError)):
+        if isinstance(failure, (BudgetExceededError, DeadlineExceededError,
+                                WorkerPoolError)):
             raise failure
         raise RetryExhaustedError(
             f"solve failed verification on all {len(attempts)} attempts "
@@ -298,6 +372,7 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
         engine="fallback:bellman_ford", attempts=attempts,
         fallback_reason=reason,
         faults=fault_plan.summary() if fault_plan is not None else None)
+    res.provenance.record_backend(backend)
     return _finish(g, res, raise_on_cycle)
 
 

@@ -73,6 +73,15 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
     # checkpoint / preemption
     "repro_checkpoint_writes_total": ("counter", "Checkpoints written"),
     "repro_checkpoint_bytes_total": ("counter", "Checkpoint bytes written"),
+    # execution backends / worker fleet
+    "repro_workers_spawned_total":
+        ("counter", "Worker processes spawned by backend"),
+    "repro_worker_losses_total":
+        ("counter", "Workers lost mid-call (death or hang)"),
+    "repro_worker_redispatches_total":
+        ("counter", "Blocks re-dispatched after loss or straggling"),
+    "repro_backend_demotions_total":
+        ("counter", "Degradation-ladder rung changes"),
     # span-fold metrics (emitted by MetricsRegistry.span_closed)
     "repro_spans_total": ("counter", "Closed tracer spans"),
     "repro_span_wall_seconds": ("histogram", "Span wall time"),

@@ -31,8 +31,18 @@ from .errors import (
     ReproError,
     RetryExhaustedError,
     VerificationError,
+    WorkerPoolError,
 )
-from .faults import SITES as FAULT_SITES, FaultEvent, FaultPlan, FaultSpec
+from .faults import (
+    ALL_SITES,
+    CORRUPTION_SITES,
+    SITES as FAULT_SITES,
+    SYSTEMIC_SITES,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    WorkerFaults,
+)
 from .guard import BudgetGuard, Meter
 from .preempt import (
     CancelToken,
@@ -61,6 +71,7 @@ __all__ = [
     "CancelledError",
     "DeadlineExceededError",
     "CheckpointError",
+    "WorkerPoolError",
     "Deadline",
     "CancelToken",
     "cancel_scope",
@@ -77,6 +88,10 @@ __all__ = [
     "FaultSpec",
     "FaultEvent",
     "FAULT_SITES",
+    "CORRUPTION_SITES",
+    "SYSTEMIC_SITES",
+    "ALL_SITES",
+    "WorkerFaults",
     "RetryPolicy",
     "AttemptRecord",
     "SolveProvenance",

@@ -127,6 +127,28 @@ class CheckpointError(ReproError, RuntimeError):
         self.reason = reason
 
 
+class WorkerPoolError(ReproError, RuntimeError):
+    """The execution backend itself failed — workers died or hung past
+    the loss budget, a block exhausted its dispatch attempts, or the
+    backend cannot execute the requested call shape at all.
+
+    Deliberately *not* a :class:`VerificationError`: the algorithm's
+    output was never wrong, the substrate running it was.  The
+    degradation ladder (:class:`~repro.runtime.backends.DegradationLadder`)
+    catches this class to demote process → thread → serial; when no rung
+    remains, the resilient solver records it as a fallback reason instead
+    of crashing.  ``losses`` carries the
+    :class:`~repro.runtime.backends.WorkerLoss` records of the failed
+    call for provenance.
+    """
+
+    def __init__(self, message: str, *, backend: str | None = None,
+                 losses: Sequence[Any] = ()) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.losses = list(losses)
+
+
 class NegativeCycleError(ReproError):
     """The instance contains a negative cycle (with certificate attached).
 

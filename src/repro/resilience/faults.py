@@ -33,9 +33,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..runtime.rng import make_rng
+from ..runtime.rng import derive_seed, make_rng
 
-SITES = ("assp", "priorities", "price", "potential")
+# corruption sites: fire in-process, corrupt a value, a verifier catches it
+CORRUPTION_SITES = ("assp", "priorities", "price", "potential")
+# systemic sites: fire *inside worker processes* of the process backend —
+# they attack the execution substrate, not the data, and the recovery
+# machinery (liveness timeouts, re-dispatch, the degradation ladder) is
+# what must absorb them
+SYSTEMIC_SITES = ("worker_kill", "worker_hang", "result_drop")
+SITES = CORRUPTION_SITES  # historical alias: the in-process site tuple
+ALL_SITES = CORRUPTION_SITES + SYSTEMIC_SITES
+
+# namespaces worker-fault decisions away from retry/scale seed derivations
+_SYSTEMIC_SALT = 0x51D3
 
 
 @dataclass(frozen=True)
@@ -43,8 +54,11 @@ class FaultSpec:
     """When the fault at ``site`` fires.
 
     ``calls`` — 1-based call indices that fire (``None`` = every call);
-    ``rate`` — firing probability on a matching call, drawn from the
-    plan's own seeded rng (so still deterministic).
+    for systemic sites the "call index" is the block's 1-based dispatch
+    attempt; ``rate`` — firing probability on a matching call (drawn from
+    the plan's seeded rng for corruption sites, derived purely from
+    ``(seed, site, block, attempt)`` for systemic sites — deterministic
+    either way).
     """
 
     site: str
@@ -52,11 +66,51 @@ class FaultSpec:
     rate: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.site not in SITES:
+        if self.site not in ALL_SITES:
             raise ValueError(f"unknown fault site {self.site!r}; "
-                             f"choose from {SITES}")
+                             f"choose from {ALL_SITES}")
         if not (0.0 <= self.rate <= 1.0):
             raise ValueError("rate must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkerFaults:
+    """The systemic slice of a :class:`FaultPlan`, in picklable form.
+
+    Shipped to worker processes by
+    :meth:`~repro.runtime.backends.ProcessForkJoinPool.install_fault_plan`.
+    Decisions are *pure* functions of ``(seed, site, block lo, dispatch
+    attempt)`` — no shared rng stream, no counters — so the parent can
+    recompute exactly which faults fired without a message from a worker
+    that may be dead, and a re-dispatched block (higher ``attempt``)
+    rolls fresh dice: persistent kill-every-attempt faults need
+    ``rate=1.0``, probabilistic chaos heals under re-dispatch.
+    """
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        for s in self.specs:
+            if s.site not in SYSTEMIC_SITES:
+                raise ValueError(
+                    f"{s.site!r} is not a systemic site; "
+                    f"choose from {SYSTEMIC_SITES}")
+
+    def fires(self, site: str, lo: int, attempt: int) -> bool:
+        """Does ``site`` fire for the block starting at ``lo`` on its
+        ``attempt``-th (1-based) dispatch?"""
+        spec = next((s for s in self.specs if s.site == site), None)
+        if spec is None:
+            return False
+        if spec.calls is not None and attempt not in spec.calls:
+            return False
+        if spec.rate >= 1.0:
+            return True
+        rng = make_rng(derive_seed(self.seed, _SYSTEMIC_SALT,
+                                   SYSTEMIC_SITES.index(site), lo, attempt))
+        return bool(rng.random() < spec.rate)
 
 
 @dataclass
@@ -81,7 +135,7 @@ class FaultPlan:
         self.specs = {s.site: s for s in specs}
         self.seed = int(seed)
         self._rng = make_rng(seed)
-        self.calls = {site: 0 for site in SITES}
+        self.calls = {site: 0 for site in ALL_SITES}
         self.events: list[FaultEvent] = []
 
     # -- construction shorthands ---------------------------------------
@@ -106,7 +160,7 @@ class FaultPlan:
     def reset(self) -> None:
         """Restart counters, rng and event log (fresh schedule)."""
         self._rng = make_rng(self.seed)
-        self.calls = {site: 0 for site in SITES}
+        self.calls = {site: 0 for site in ALL_SITES}
         self.events = []
 
     def fired(self, site: str | None = None) -> int:
@@ -116,7 +170,37 @@ class FaultPlan:
 
     def summary(self) -> dict:
         return {"calls": dict(self.calls),
-                "fired": {s: self.fired(s) for s in SITES}}
+                "fired": {s: self.fired(s) for s in ALL_SITES}}
+
+    # -- systemic slice (worker-process faults) -------------------------
+    def systemic(self, hang_seconds: float = 30.0) -> "WorkerFaults | None":
+        """The plan's systemic specs as a picklable :class:`WorkerFaults`
+        (``None`` when the plan has none), for shipping into worker
+        processes."""
+        specs = tuple(s for site, s in self.specs.items()
+                      if site in SYSTEMIC_SITES)
+        if not specs:
+            return None
+        return WorkerFaults(seed=self.seed, specs=specs,
+                            hang_seconds=hang_seconds)
+
+    def note_worker_dispatch(self, lo: int, hi: int, attempt: int) -> None:
+        """Parent-side mirror of one block dispatch: recompute which
+        systemic faults fire for ``(lo, attempt)`` (the decisions are
+        pure, so this matches the worker exactly) and record them as
+        :class:`FaultEvent`\\ s — the worker that acts on the fault may
+        be dead or wedged and can never report back."""
+        wf = self.systemic()
+        if wf is None:
+            return
+        for site in SYSTEMIC_SITES:
+            if site not in self.specs:
+                continue
+            self.calls[site] += 1
+            if wf.fires(site, lo, attempt):
+                self.events.append(FaultEvent(
+                    site, attempt,
+                    f"block [{lo}, {hi}) dispatch attempt {attempt}"))
 
     def _fires(self, site: str, detail: str) -> bool:
         self.calls[site] += 1

@@ -101,15 +101,27 @@ class SolveProvenance:
 
     ``engine`` is ``"parallel"``/``"sequential"`` for the primary path and
     ``"fallback:bellman_ford"`` when graceful degradation kicked in;
-    ``fallback_reason`` then explains why (retry exhaustion or budget).
-    ``attempts`` is the flat attempt log across stages; ``faults`` is the
-    injected-fault summary when a :class:`FaultPlan` was active.
+    ``fallback_reason`` then explains why (retry exhaustion, budget, or a
+    worker-pool failure past the last ladder rung).  ``attempts`` is the
+    flat attempt log across stages; ``faults`` is the injected-fault
+    summary when a :class:`FaultPlan` was active.
+
+    The execution-backend fields record the *substrate* story: ``backend``
+    is the rung that ultimately executed (``None`` for classic in-process
+    execution), ``demotions`` the degradation-ladder rung changes, and
+    ``worker_losses`` every worker death/hang absorbed on the way — each
+    as the ``to_json()`` dict of the corresponding
+    :mod:`repro.runtime.backends` record, so provenance stays a plain
+    JSON-serialisable object.
     """
 
     engine: str
     attempts: list[AttemptRecord] = field(default_factory=list)
     fallback_reason: str | None = None
     faults: dict | None = None
+    backend: str | None = None
+    demotions: list[dict] = field(default_factory=list)
+    worker_losses: list[dict] = field(default_factory=list)
 
     @property
     def retries(self) -> int:
@@ -118,3 +130,33 @@ class SolveProvenance:
     @property
     def used_fallback(self) -> bool:
         return self.engine.startswith("fallback:")
+
+    def record_backend(self, backend) -> None:
+        """Fold a backend's telemetry in (no-op for plain pools without
+        a ``telemetry()`` — e.g. a raw :class:`ForkJoinPool`)."""
+        if backend is None:
+            return
+        tele = getattr(backend, "telemetry", None)
+        if tele is None:
+            self.backend = getattr(backend, "name", None)
+            return
+        t = tele()
+        self.backend = t["backend"]
+        self.demotions.extend(t["demotions"])
+        self.worker_losses.extend(t["worker_losses"])
+
+    def to_json(self) -> dict:
+        """The provenance as one JSON-serialisable dict (the chaos CI
+        job uploads a list of these as its artifact)."""
+        return {
+            "engine": self.engine,
+            "fallback_reason": self.fallback_reason,
+            "retries": self.retries,
+            "attempts": [
+                {"stage": a.stage, "attempt": a.attempt, "seed": a.seed,
+                 "ok": a.ok, "error": a.error} for a in self.attempts],
+            "faults": self.faults,
+            "backend": self.backend,
+            "demotions": list(self.demotions),
+            "worker_losses": list(self.worker_losses),
+        }

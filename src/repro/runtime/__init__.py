@@ -17,9 +17,27 @@ from .racecheck import (
 )
 from .rng import derive_seed, geometric_priorities, make_rng, priority_cap
 from .executor import ForkJoinPool, default_pool
+from .backends import (
+    BACKEND_NAMES,
+    DegradationLadder,
+    Demotion,
+    ExecutionBackend,
+    ProcessForkJoinPool,
+    SerialBackend,
+    WorkerLoss,
+    resolve_backend,
+)
 from . import primitives
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessForkJoinPool",
+    "DegradationLadder",
+    "Demotion",
+    "WorkerLoss",
+    "resolve_backend",
     "RaceChecker",
     "RaceReport",
     "current_race_checker",

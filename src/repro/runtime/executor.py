@@ -30,22 +30,61 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
-from typing import Callable
+from typing import Any, Callable
 
 from ..observability.tracer import current_tracer, trace_span
 from ..resilience.preempt import CancelToken, current_token
-from .racecheck import current_race_checker
+from .racecheck import RaceChecker, current_race_checker
+
+# fn(lo, hi, *args) -> a picklable result for the block; see map_blocks
+BlockFn = Callable[..., Any]
+
+
+def checked_map_blocks(checker: RaceChecker, n: int, fn: BlockFn,
+                       args: tuple, grain: int,
+                       token: CancelToken | None) -> list:
+    """Shadow-memory path shared by every backend's ``map_blocks``: run
+    the checker's *logical* blocks sequentially under fork-tree task
+    tags, so findings are identical for serial, thread, and process
+    backends at any worker count."""
+    region = checker.open_region()
+    blocks = checker.blocks_for(n, grain)
+    step = (n + blocks - 1) // blocks
+    out = []
+    with trace_span("map-blocks", phase="runtime", n=n,
+                    blocks=blocks, workers=1) as psp:
+        for bi, lo in enumerate(range(0, n, step)):
+            if token is not None:
+                token.check("map_blocks:block")
+            with checker.task(region, bi):
+                out.append(fn(lo, min(lo + step, n), *args))
+        psp.count("blocks_run", len(out))
+        if token is not None:
+            token.check("map_blocks:join")
+    return out
 
 
 class ForkJoinPool:
-    """A tiny fork-join pool for block-partitioned parallel loops."""
+    """A tiny fork-join pool for block-partitioned parallel loops.
 
-    def __init__(self, n_workers: int | None = None) -> None:
+    Doubles as the ``thread`` rung of the execution-backend ladder (see
+    :mod:`repro.runtime.backends`): it satisfies the
+    :class:`~repro.runtime.backends.ExecutionBackend` protocol with both
+    the shared-memory :meth:`parallel_for` and the pure-function
+    :meth:`map_blocks` contracts.
+    """
+
+    name = "thread"
+    supports_shared_memory = True
+
+    def __init__(self, n_workers: int | None = None, *,
+                 grain: int = 1024) -> None:
         if n_workers is None:
             n_workers = min(8, os.cpu_count() or 1)
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
+        self.grain = grain
         self._pool: ThreadPoolExecutor | None = (
             ThreadPoolExecutor(max_workers=n_workers) if n_workers > 1 else None
         )
@@ -142,18 +181,94 @@ class ForkJoinPool:
                     self._pool.submit(run_block, lo, min(lo + step, n)))
             psp.count("blocks_run", len(futures))
 
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            failed = any(not f.cancelled() and f.exception() is not None
-                         for f in done)
-            if failed or not_done:
-                for f in not_done:
-                    f.cancel()
-                wait(futures)  # drain blocks that were already running
-            for f in futures:  # re-raise first failure in submission order
-                if not f.cancelled() and f.exception() is not None:
-                    raise f.exception()
+            self._join_or_raise(futures)
             if token is not None:
                 token.check("parallel_for:join")
+
+    @staticmethod
+    def _join_or_raise(futures) -> None:
+        """Join every started block; on failure cancel the queued tail,
+        drain, and re-raise the first failure in submission order *with
+        the worker's original traceback* — the frame inside the block
+        body must stay visible to the caller's except/debugger."""
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = any(not f.cancelled() and f.exception() is not None
+                     for f in done)
+        if failed or not_done:
+            for f in not_done:
+                f.cancel()
+            wait(futures)  # drain blocks that were already running
+        for f in futures:  # re-raise first failure in submission order
+            if not f.cancelled() and f.exception() is not None:
+                exc = f.exception()
+                raise exc.with_traceback(exc.__traceback__)
+
+    def map_blocks(self, n: int, fn: BlockFn, args: tuple = (), *,
+                   grain: int | None = None,
+                   token: CancelToken | None = None) -> list:
+        """Run ``fn(lo, hi, *args)`` over a block partition of
+        ``range(n)`` and return the per-block results in block order.
+
+        This is the *pure-function* sibling of :meth:`parallel_for` and
+        the portable backend contract: ``fn`` must be a deterministic
+        function of ``(lo, hi, *args)`` with no shared-memory writes, so
+        any backend (serial, thread, process) may execute, duplicate, or
+        re-execute blocks and the concatenated results stay
+        bit-identical.  Cancellation and failure semantics match
+        :meth:`parallel_for`.
+        """
+        if self._closed:
+            raise RuntimeError("map_blocks on a shut-down ForkJoinPool")
+        if token is None:
+            token = current_token()
+        if token is not None:
+            token.check("map_blocks")
+        if n <= 0:
+            return []
+        g = self.grain if grain is None else grain
+        checker = current_race_checker()
+        if checker is not None:
+            return checked_map_blocks(checker, n, fn, args, g, token)
+        if self._pool is None or n <= g:
+            with trace_span("map-blocks", phase="runtime", n=n,
+                            blocks=1, workers=1) as psp:
+                psp.count("blocks_run", 1)
+                out = [fn(0, n, *args)]
+            if token is not None:
+                token.check("map_blocks:join")
+            return out
+        blocks = min(max(1, n // g), 4 * self.n_workers)
+        step = (n + blocks - 1) // blocks
+
+        def run_block(lo: int, hi: int):
+            if token is not None:
+                token.check("map_blocks:block")
+            return fn(lo, hi, *args)
+
+        with trace_span("map-blocks", phase="runtime", n=n, blocks=blocks,
+                        workers=self.n_workers) as psp:
+            tracer = current_tracer()
+            if tracer is not None:
+                dispatch_sid = psp.span.sid
+                inner_block = run_block
+
+                def run_block(lo: int, hi: int):
+                    with tracer.span("map-blocks-block",
+                                     parent=dispatch_sid, detached=True,
+                                     phase="runtime", lo=lo, hi=hi):
+                        return inner_block(lo, hi)
+
+            futures = []
+            for lo in range(0, n, step):
+                if token is not None and token.cancelled:
+                    break  # stop dispatching; drain blocks in flight
+                futures.append(
+                    self._pool.submit(run_block, lo, min(lo + step, n)))
+            psp.count("blocks_run", len(futures))
+            self._join_or_raise(futures)
+            if token is not None:
+                token.check("map_blocks:join")
+            return [f.result() for f in futures]
 
     def shutdown(self) -> None:
         """Release the worker threads; idempotent (extra calls are no-ops)."""
@@ -177,9 +292,15 @@ _default_lock = threading.Lock()
 
 
 def default_pool() -> ForkJoinPool:
-    """Process-wide lazily created pool (size = CPU count, capped at 8)."""
+    """Process-wide lazily created pool (size = CPU count, capped at 8).
+
+    A shut-down default pool is replaced by a fresh one on the next call:
+    ``shutdown()`` (direct, or via the context manager) must never leave
+    the module-global permanently broken for later ``parallel_for``
+    users.
+    """
     global _default_pool
     with _default_lock:
-        if _default_pool is None:
+        if _default_pool is None or _default_pool._closed:
             _default_pool = ForkJoinPool()
         return _default_pool

@@ -64,6 +64,30 @@ def _probe_bf_threaded(pool: ForkJoinPool) -> None:
         raise AssertionError("bf-threaded probe: wrong distances")
 
 
+@_probe("bf-process")
+def _probe_bf_process(pool: ForkJoinPool) -> None:
+    """The backend-portable relaxation under the checker: every backend's
+    ``map_blocks`` routes through the same sequential logical-block
+    partition when a checker is active (no worker processes are spawned),
+    so the findings are backend- and pool-size-independent — this probe
+    proves the process backend's block functions carry the same clean
+    annotations as the threaded kernel."""
+    from ..baselines.bellman_ford import bellman_ford
+    from ..baselines.bellman_ford_threaded import bellman_ford_parallel
+    from ..graph.generators import bf_hard_graph
+    from ..runtime.backends import ProcessForkJoinPool
+
+    g = bf_hard_graph(120, 240, seed=7)
+    backend = ProcessForkJoinPool(pool.n_workers, grain=64)
+    try:
+        res = bellman_ford_parallel(g, 0, backend=backend, grain=64)
+    finally:
+        backend.shutdown()
+    ref = bellman_ford(g, 0)
+    if not np.allclose(res.dist, ref.dist):
+        raise AssertionError("bf-process probe: wrong distances")
+
+
 @_probe("dag01")
 def _probe_dag01(pool: ForkJoinPool) -> None:
     from ..dag01.peeling import dag01_limited_sssp

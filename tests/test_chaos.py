@@ -1,0 +1,177 @@
+"""Chaos suite: solves on the graph-family sweep while workers are
+being killed, and the answers must not change.
+
+Every test here asserts the headline robustness property: under a
+``worker_kill`` fault rate of 0.2 (or an external SIGKILL injector),
+each solve completes — via block re-dispatch or a recorded demotion —
+and the distances are bit-identical to the serial backend.
+
+Pool sizes come from ``REPRO_CHAOS_POOL_SIZES`` (comma-separated,
+default ``"2"``; CI's chaos job sets ``"2,4"``).  When
+``REPRO_CHAOS_ARTIFACT_DIR`` is set, each sweep writes its
+:class:`~repro.resilience.retry.SolveProvenance` documents there as
+JSON for upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.sssp import solve_sssp_resilient
+from repro.graph.generators import (
+    bf_hard_graph,
+    hidden_potential_graph,
+    random_dag,
+    random_digraph,
+    zero_heavy_digraph,
+)
+from repro.resilience.faults import FaultPlan
+from repro.runtime.backends import (
+    DegradationLadder,
+    ProcessForkJoinPool,
+    SerialBackend,
+)
+from repro.runtime.executor import ForkJoinPool
+
+pytestmark = pytest.mark.chaos
+
+KILL_RATE = 0.2
+GRAIN = 16  # small enough that every family's edge array spans blocks
+
+
+def chaos_pool_sizes() -> list[int]:
+    raw = os.environ.get("REPRO_CHAOS_POOL_SIZES", "2")
+    return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+def graph_families() -> list[tuple[str, object]]:
+    return [
+        ("bf-hard", bf_hard_graph(60, 240, seed=7)),
+        ("hidden-potential", hidden_potential_graph(40, 220, seed=11)),
+        ("random-neg", random_digraph(50, 230, min_w=-3, max_w=9,
+                                      seed=13)),
+        ("dag", random_dag(60, 240, seed=17)),
+        ("zero-heavy", zero_heavy_digraph(50, 230, seed=19)),
+    ]
+
+
+def serial_reference(g, seed=7):
+    with SerialBackend(grain=GRAIN) as be:
+        return solve_sssp_resilient(g, 0, seed=seed, backend=be)
+
+
+def chaos_ladder(pool_size: int) -> DegradationLadder:
+    return DegradationLadder.for_backend(
+        "process", n_workers=pool_size, grain=GRAIN,
+        heartbeat_interval=0.02, liveness_timeout=0.5,
+        backoff_base=0.01, backoff_cap=0.05)
+
+
+def maybe_write_artifact(name: str, doc: dict) -> None:
+    art_dir = os.environ.get("REPRO_CHAOS_ARTIFACT_DIR")
+    if not art_dir:
+        return
+    path = Path(art_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / f"{name}.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True))
+
+
+@pytest.mark.parametrize("pool_size", chaos_pool_sizes())
+def test_worker_kill_sweep_bit_identical_to_serial(pool_size):
+    sweep = []
+    for fam, g in graph_families():
+        ref = serial_reference(g)
+        plan = FaultPlan.with_rate(KILL_RATE, sites=("worker_kill",),
+                                   seed=pool_size * 1000 + len(fam))
+        with chaos_ladder(pool_size) as lad:
+            res = solve_sssp_resilient(g, 0, seed=7, backend=lad,
+                                       fault_plan=plan)
+            tele = lad.telemetry()
+        # the solve completed — via recovery or a recorded demotion —
+        # and the distances did not move by a single bit
+        assert np.array_equal(res.dist, ref.dist), fam
+        assert bool(res.has_negative_cycle) == bool(
+            ref.has_negative_cycle), fam
+        prov = res.provenance.to_json()
+        assert prov["backend"] in ("process", "thread", "serial")
+        # every worker loss the pool absorbed is listed in provenance
+        kills = plan.fired("worker_kill")
+        losses = prov["worker_losses"]
+        if kills and not prov["demotions"]:
+            assert losses, f"{fam}: {kills} kills fired but no loss recorded"
+        for loss in losses:
+            assert loss["kind"] in ("death", "hang")
+            assert loss["wid"] >= 0
+        assert tele["worker_losses"] == losses
+        sweep.append({"family": fam, "pool_size": pool_size,
+                      "kills_fired": kills, "provenance": prov})
+    assert any(s["kills_fired"] for s in sweep), \
+        "chaos sweep never injected a fault — rate/seed mismatch"
+    maybe_write_artifact(f"chaos-worker-kill-pool{pool_size}",
+                         {"schema": "repro-chaos/1", "rate": KILL_RATE,
+                          "solves": sweep})
+
+
+@pytest.mark.parametrize("pool_size", chaos_pool_sizes())
+def test_external_sigkill_sweep_bit_identical_to_serial(pool_size):
+    fam, g = graph_families()[0]
+    ref = serial_reference(g)
+    pool = ProcessForkJoinPool(
+        pool_size, grain=GRAIN, heartbeat_interval=0.02,
+        liveness_timeout=0.5, backoff_base=0.01, backoff_cap=0.05)
+    lad = DegradationLadder([
+        ("process", pool),
+        ("thread", lambda: ForkJoinPool(pool_size)),
+        ("serial", SerialBackend),
+    ])
+    stop = threading.Event()
+    killed = []
+
+    def killer():
+        # keep shooting workers in the head until the solve finishes
+        while not stop.is_set():
+            for pid in pool.worker_pids():
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                    killed.append(pid)
+                except ProcessLookupError:
+                    pass
+                break  # one victim per volley
+            time.sleep(0.03)
+
+    t = threading.Thread(target=killer)
+    with lad:
+        t.start()
+        try:
+            res = solve_sssp_resilient(g, 0, seed=7, backend=lad)
+        finally:
+            stop.set()
+            t.join()
+        tele = lad.telemetry()
+    assert np.array_equal(res.dist, ref.dist)
+    prov = res.provenance.to_json()
+    if killed:
+        # every kill surfaced as a recorded loss or forced a recorded
+        # demotion — never a silent retry
+        assert prov["worker_losses"] or prov["demotions"]
+    assert prov["demotions"] == tele["demotions"]
+    maybe_write_artifact(
+        f"chaos-sigkill-pool{pool_size}",
+        {"schema": "repro-chaos/1", "family": fam,
+         "external_kills": len(killed), "provenance": prov})
+
+
+def test_chaos_pool_sizes_env_parsing(monkeypatch):
+    monkeypatch.setenv("REPRO_CHAOS_POOL_SIZES", "2, 4 ,8")
+    assert chaos_pool_sizes() == [2, 4, 8]
+    monkeypatch.delenv("REPRO_CHAOS_POOL_SIZES")
+    assert chaos_pool_sizes() == [2]

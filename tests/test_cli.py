@@ -337,3 +337,117 @@ class TestCheck:
                  EXIT_FINDINGS]
         assert len(set(codes)) == len(codes)
         assert EXIT_FINDINGS == 6
+
+
+class TestBackendFlag:
+    """``solve --backend {serial,thread,process}``: identical answers,
+    backend provenance on stderr, argument validation."""
+
+    def _graph(self, capsys, tmp_path):
+        _, text, _ = run_cli(capsys, "generate", "hidden-potential",
+                             "--n", "20", "--m", "70", "--seed", "4")
+        p = tmp_path / "g.gr"
+        p.write_text(text)
+        return p
+
+    def test_all_backends_identical_stdout(self, capsys, tmp_path):
+        p = self._graph(capsys, tmp_path)
+        rc0, base, _ = run_cli(capsys, "solve", str(p))
+        assert rc0 == 0
+        for backend in ("serial", "thread", "process"):
+            rc, out, err = run_cli(capsys, "solve", str(p),
+                                   "--backend", backend, "--workers", "2")
+            assert rc == 0, backend
+            assert out == base, backend
+            assert f"c backend {backend}" in err, backend
+
+    def test_workers_validation(self, capsys, tmp_path):
+        p = self._graph(capsys, tmp_path)
+        rc, _, err = run_cli(capsys, "solve", str(p),
+                             "--backend", "thread", "--workers", "0")
+        assert rc == 2
+        assert "workers" in err
+
+    def test_liveness_validation(self, capsys, tmp_path):
+        p = self._graph(capsys, tmp_path)
+        rc, _, err = run_cli(capsys, "solve", str(p), "--backend",
+                             "process", "--liveness-timeout", "-1")
+        assert rc == 2
+        assert "liveness" in err
+
+    def test_unknown_backend_rejected_by_parser(self, capsys, tmp_path):
+        p = self._graph(capsys, tmp_path)
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "solve", str(p), "--backend", "gpu")
+
+    def test_backend_flag_with_cycle_graph(self, capsys, tmp_path):
+        _, text, _ = run_cli(capsys, "generate", "planted-cycle",
+                             "--n", "15", "--m", "50", "--spread", "3")
+        p = tmp_path / "g.gr"
+        p.write_text(text)
+        rc, out, _ = run_cli(capsys, "solve", str(p),
+                             "--backend", "process", "--workers", "2")
+        assert rc == 3
+        assert out.startswith("negative cycle:")
+
+
+class TestSignalPreemption:
+    """Satellite: SIGTERM (not just SIGINT) is a cooperative cancel when
+    a checkpoint is in play — exit 5 plus a resume hint, no traceback."""
+
+    def test_sigterm_cooperative_cancel_and_resume(self, tmp_path):
+        import os
+        import signal as _signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        graph = tmp_path / "g.gr"
+        ck = tmp_path / "ck.bin"
+        gen = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "generate",
+             "hidden-potential", "--n", "4000", "--m", "40000",
+             "--spread", "40", "--seed", "3"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert gen.returncode == 0
+        graph.write_text(gen.stdout)
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "solve", str(graph),
+             "--checkpoint", str(ck)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            # the first per-scale checkpoint proves the handler is
+            # installed and the solve is mid-flight: now preempt it
+            deadline = time.monotonic() + 60
+            while not ck.exists() and time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.01)
+            assert ck.exists(), "solve never wrote a checkpoint"
+            if proc.poll() is None:
+                proc.send_signal(_signal.SIGTERM)
+            out, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        if proc.returncode == 0:
+            pytest.skip("solve finished before SIGTERM landed")
+        assert proc.returncode == 5
+        assert "CancelledError" in err or "signal SIGTERM" in err
+        assert f"--checkpoint {ck} --resume" in err
+        assert "Traceback" not in err
+
+        # the interrupted solve left a loadable checkpoint: resuming
+        # finishes the job cleanly
+        res = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "solve", str(graph),
+             "--checkpoint", str(ck), "--resume"],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert res.returncode == 0
+        assert res.stdout.startswith("d 1 0")

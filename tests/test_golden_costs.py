@@ -81,3 +81,37 @@ def test_golden_cost_repeatable(case):
     a = solve_sssp(make(), 0, seed=SEED)
     b = solve_sssp(make(), 0, seed=SEED)
     assert a.cost == b.cost
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_golden_cost_backend_invariant(case, backend):
+    """The execution backend changes *where* blocks run, never *what* is
+    computed or charged: model costs (and distances) must be bit-exact
+    across serial, thread, and process backends."""
+    import numpy as np
+
+    from repro.runtime.backends import (
+        ProcessForkJoinPool,
+        SerialBackend,
+    )
+    from repro.runtime.executor import ForkJoinPool
+
+    make, neg, par_cost, _ = GOLDEN[case]
+    base = solve_sssp(make(), 0, seed=SEED, mode="parallel")
+    be = {
+        "serial": lambda: SerialBackend(grain=8),
+        "thread": lambda: ForkJoinPool(2, grain=8),
+        "process": lambda: ProcessForkJoinPool(2, grain=8,
+                                               heartbeat_interval=0.02,
+                                               liveness_timeout=1.0),
+    }[backend]()
+    try:
+        res = solve_sssp(make(), 0, seed=SEED, mode="parallel", backend=be)
+    finally:
+        be.shutdown()
+    assert res.has_negative_cycle == neg
+    assert res.cost == par_cost
+    assert res.cost == base.cost
+    if base.dist is not None:
+        assert np.array_equal(res.dist, base.dist)

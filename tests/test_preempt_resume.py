@@ -476,3 +476,48 @@ def test_negative_cycle_instance_still_certifies_after_interrupt(tmp_path):
                                resume=os.path.exists(path))
     assert res.negative_cycle == base.negative_cycle
     assert res.certificate.checked
+
+
+class TestTornCheckpointSweep:
+    """Satellite: a checkpoint torn at *any* byte boundary — the exact
+    artifact of a crash mid-write on a non-atomic filesystem — must be
+    rejected with a typed :class:`CheckpointError`, never half-loaded."""
+
+    def test_every_truncation_boundary_rejected(self, tmp_path):
+        path = tmp_path / "ck.bin"
+        save_checkpoint(path, _sample_checkpoint())
+        intact = path.read_bytes()
+        assert len(intact) > 52  # header + payload
+        reasons = set()
+        for cut in range(len(intact)):
+            path.write_bytes(intact[:cut])
+            with pytest.raises(CheckpointError) as ei:
+                load_checkpoint(path)
+            reasons.add(ei.value.reason)
+        # torn files only ever look truncated (short header / short or
+        # mis-sized payload) — never "checksum" (that would mean the
+        # digest was verified against a wrong-length payload) and never
+        # a pickle/JSON error leaking through untyped
+        assert reasons == {"truncated"}
+        # the intact bytes still load: the sweep proved rejection is
+        # about the tear, not some global state the loop corrupted
+        path.write_bytes(intact)
+        assert load_checkpoint(path).seed == _sample_checkpoint().seed
+
+    def test_resume_from_torn_file_raises_then_fresh_solve_heals(
+            self, g, tmp_path):
+        path = tmp_path / "ck.bin"
+        base = solve_sssp_resilient(g, 0, seed=0, checkpoint_path=path)
+        torn = path.read_bytes()[:-7]
+        path.write_bytes(torn)
+        # resuming from a torn checkpoint is a hard, typed error — the
+        # solver must never silently start over when asked to resume
+        with pytest.raises(CheckpointError) as ei:
+            solve_sssp_resilient(g, 0, seed=0, checkpoint_path=path,
+                                 resume=True)
+        assert ei.value.reason == "truncated"
+        # ... but a fresh (non-resume) solve overwrites the wreck and
+        # leaves a loadable final checkpoint behind
+        res = solve_sssp_resilient(g, 0, seed=0, checkpoint_path=path)
+        np.testing.assert_array_equal(res.dist, base.dist)
+        assert load_checkpoint(path).done

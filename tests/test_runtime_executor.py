@@ -189,3 +189,103 @@ class TestCancellation:
                 with pytest.raises(CancelledError):
                     pool.parallel_for(10_000, lambda lo, hi: None, grain=10)
             pool.parallel_for(100, lambda lo, hi: None)  # scope popped
+
+
+class TestDefaultPoolRecovery:
+    """Satellite: ``shutdown()`` on the default pool must not leave the
+    module-global permanently broken — the next caller gets a fresh one."""
+
+    def test_default_pool_recreated_after_shutdown(self):
+        first = default_pool()
+        first.shutdown()
+        second = default_pool()
+        assert second is not first
+        assert not second._closed
+        # and it actually works
+        hits = []
+        second.parallel_for(10, lambda lo, hi: hits.append((lo, hi)),
+                            grain=100)
+        assert hits == [(0, 10)]
+
+    def test_default_pool_survives_context_manager_exit(self):
+        with default_pool():
+            pass  # __exit__ shut it down
+        pool = default_pool()
+        assert not pool._closed
+        assert pool is default_pool()  # and it is a stable singleton again
+
+
+class TestTracebackPreservation:
+    """Satellite: a block's exception reaches the caller with the
+    block-frame traceback intact, not an opaque re-raise."""
+
+    def test_block_frame_visible_in_traceback(self):
+        import traceback
+
+        def exploding_block_body(lo, hi):
+            raise ValueError(f"kaboom in [{lo}, {hi})")
+
+        with ForkJoinPool(n_workers=2) as pool:
+            with pytest.raises(ValueError, match="kaboom") as ei:
+                pool.parallel_for(4_000, exploding_block_body, grain=10)
+        frames = traceback.format_exception(
+            ei.type, ei.value, ei.value.__traceback__)
+        text = "".join(frames)
+        assert "exploding_block_body" in text
+        assert "kaboom in" in text
+
+    def test_map_blocks_preserves_traceback_too(self):
+        import traceback
+
+        def exploding_map_block(lo, hi):
+            raise KeyError("map-kaboom")
+
+        with ForkJoinPool(n_workers=2) as pool:
+            with pytest.raises(KeyError) as ei:
+                pool.map_blocks(4_000, exploding_map_block, grain=10)
+        text = "".join(traceback.format_exception(
+            ei.type, ei.value, ei.value.__traceback__))
+        assert "exploding_map_block" in text
+
+
+class TestMapBlocksThreaded:
+    """The thread pool's side of the portable ``map_blocks`` contract."""
+
+    def test_results_concatenate_in_order(self):
+        arr = np.arange(1000)
+        with ForkJoinPool(n_workers=4) as pool:
+            out = pool.map_blocks(1000, lambda lo, hi: arr[lo:hi] * 2,
+                                  grain=100)
+        assert len(out) > 1
+        assert np.array_equal(np.concatenate(out), arr * 2)
+
+    def test_small_n_runs_inline(self):
+        ident = threading.get_ident()
+        seen = []
+
+        def body(lo, hi):
+            seen.append(threading.get_ident())
+            return hi - lo
+
+        with ForkJoinPool(n_workers=4) as pool:
+            assert pool.map_blocks(50, body, grain=100) == [50]
+        assert seen == [ident]  # caller thread, no dispatch
+
+    def test_precancelled_token_raises(self):
+        tok = CancelToken()
+        tok.cancel("stop")
+        with ForkJoinPool(n_workers=2) as pool:
+            with pytest.raises(CancelledError):
+                pool.map_blocks(1000, lambda lo, hi: None, grain=10,
+                                token=tok)
+
+    def test_after_shutdown_raises(self):
+        pool = ForkJoinPool(n_workers=2)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut-down"):
+            pool.map_blocks(10, lambda lo, hi: None)
+
+    def test_thread_backend_surface(self):
+        with ForkJoinPool(n_workers=2) as pool:
+            assert pool.name == "thread"
+            assert pool.supports_shared_memory is True
