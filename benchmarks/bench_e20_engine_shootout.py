@@ -1,0 +1,45 @@
+"""E20 — the SSSP engine registry shootout.
+
+Every registered engine (``goldberg_parallel``, ``goldberg_sequential``,
+``bnw_scaling``, ``fischer_simple``) solves the same graph-family sweep.
+Two claims, one hard and one statistical:
+
+* **hard**: distances are bit-identical across engines on every family
+  (or all engines certify the planted negative cycle) — the registry's
+  shared potential → reduced-Dijkstra → map-back tail makes any valid
+  potential yield the same distances.  Per-engine model costs are
+  deterministic and gated bit-exact by ``repro bench compare``.
+* **statistical**: per-engine wall-clock samples go into the BENCH
+  record's ``wallclock`` section for the INFO-only track.  Relative
+  speed is *not* asserted — the engines do genuinely different amounts
+  of work (BNW's LDD clustering vs Fischer's BFD rounds vs Goldberg's
+  scaling) and the shootout exists to report, not to rank.
+"""
+
+from _bench_utils import save_table
+from repro.analysis.experiments import run_engine_shootout
+
+N = 300
+REPEATS = 3
+
+
+def test_e20_engine_shootout_table(benchmark):
+    raw = {}
+    rows = benchmark.pedantic(
+        run_engine_shootout,
+        kwargs={"n": N, "repeats": REPEATS, "raw_out": raw},
+        rounds=1, iterations=1)
+    engines = {r.params["engine"] for r in rows}
+    assert {"goldberg_parallel", "goldberg_sequential",
+            "bnw_scaling", "fischer_simple"} <= engines
+    for r in rows:
+        assert r.values["agrees"], \
+            f"engine {r.params['engine']} diverged on {r.params['family']}"
+    cycle_rows = [r for r in rows if r.params["family"] == "planted-cycle"]
+    assert cycle_rows and all(
+        r.values["outcome"] == "negative_cycle" for r in cycle_rows)
+    save_table(rows, "e20_engine_shootout",
+               "E20 — SSSP engine shootout across graph families "
+               "(distances bit-identical; wall-clock INFO-only)",
+               wallclock=raw,
+               meta={"n": N, "repeats": REPEATS})

@@ -28,7 +28,14 @@ from . import (
     resilience,
     runtime,
 )
-from .core import SsspResult, solve_sssp, solve_sssp_resilient
+from .core import (
+    REFERENCE_ENGINE,
+    SsspResult,
+    engine_names,
+    get_sssp_engine,
+    solve_sssp,
+    solve_sssp_resilient,
+)
 from .dag01 import Dag01Result, dag01_limited_sssp
 from .graph import DiGraph
 from .limited import LimitedSpResult, limited_sssp
@@ -66,6 +73,9 @@ __all__ = [
     "solve_sssp",
     "solve_sssp_resilient",
     "SsspResult",
+    "REFERENCE_ENGINE",
+    "engine_names",
+    "get_sssp_engine",
     "dag01_limited_sssp",
     "Dag01Result",
     "limited_sssp",

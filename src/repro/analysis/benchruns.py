@@ -109,6 +109,11 @@ BENCH_RUNS: list[BenchSpec] = [
               ex.run_backend_scaling,
               dict(n=400_000, n_workers=2, repeats=7),
               dict(n=60_000, n_workers=2, repeats=3)),
+    BenchSpec("E20", "e20_engine_shootout",
+              "SSSP engine registry shootout (bit-identical distances)",
+              ex.run_engine_shootout,
+              dict(n=300, repeats=3),
+              dict(n=120, repeats=2)),
     BenchSpec("A4", "a4_cost_breakdown",
               "per-stage work breakdown",
               ex.run_cost_breakdown, dict(sizes=(128, 512)),

@@ -549,3 +549,69 @@ def run_backend_scaling(n: int = 200_000, n_workers: int = 2,
         for _, be in backends:
             be.shutdown()
     return rows
+
+
+def run_engine_shootout(n: int = 300, seed=0, repeats: int = 3,
+                        raw_out: dict | None = None) -> list[Row]:
+    """E20: every registered SSSP engine on every graph family.
+
+    The hard claim is the registry's contract: identical inputs give
+    *bit-identical* distances on every engine (or agreeing, verified
+    negative-cycle verdicts), because every engine ends in the same
+    potential → reduced-Dijkstra → map-back tail.  Model costs are
+    deterministic per engine (gated bit-exact by ``bench compare``);
+    per-engine wall-clock samples land in ``raw_out`` for the INFO-only
+    statistical track — the engines do very different amounts of real
+    work, so absolute speed is reported, never asserted.
+    """
+    from ..core.engines import REFERENCE_ENGINE, engine_names, \
+        get_sssp_engine
+    from ..graph.generators import bf_hard_graph
+
+    families = {
+        "hidden-potential": lambda: hidden_potential_graph(
+            n, 4 * n, potential_spread=16, seed=seed),
+        "bf-hard": lambda: bf_hard_graph(n, 3 * n, seed=seed),
+        "zero-heavy": lambda: zero_heavy_digraph(n, 4 * n, seed=seed),
+        "planted-cycle": lambda: planted_negative_cycle_graph(
+            n, 4 * n, 6, seed=seed)[0],
+    }
+    names = [REFERENCE_ENGINE] + [e for e in engine_names()
+                                  if e != REFERENCE_ENGINE]
+    rows = []
+    samples: dict[str, list[float]] = {}
+    for fam, build in families.items():
+        g = build()
+        reference = None
+        for name in names:
+            eng = get_sssp_engine(name)
+            res = None
+            key = f"{name}/{fam}"
+            samples[key] = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                res = eng.solve(g, 0, seed=seed)
+                samples[key].append(time.perf_counter() - t0)
+            if reference is None:
+                reference = res
+            if res.has_negative_cycle:
+                assert reference.has_negative_cycle, (name, fam)
+                assert res.certificate.verify(g), (name, fam)
+                agrees = True
+            else:
+                assert not reference.has_negative_cycle, (name, fam)
+                agrees = bool(np.array_equal(reference.dist, res.dist))
+            assert agrees, f"engine {name} diverged on {fam}"
+            rows.append(Row(
+                params={"engine": name, "family": fam,
+                        "n": g.n, "m": g.m},
+                values={"outcome": ("negative_cycle"
+                                    if res.has_negative_cycle
+                                    else "distances"),
+                        "work": res.cost.work,
+                        "span_model": res.cost.span_model,
+                        "parallelism": round(res.cost.parallelism, 3),
+                        "agrees": agrees}))
+    if raw_out is not None:
+        raw_out.update(samples)
+    return rows

@@ -2,6 +2,7 @@
 
 from .hopset import HopsetAssp
 from .engines import (
+    ASSP_ENGINES,
     DeltaSteppingAssp,
     ExactAssp,
     FaultInjectingAssp,
@@ -11,6 +12,7 @@ from .engines import (
 )
 
 __all__ = [
+    "ASSP_ENGINES",
     "ExactAssp",
     "PerturbedAssp",
     "DeltaSteppingAssp",

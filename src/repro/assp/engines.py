@@ -34,6 +34,7 @@ from ..graph.csr import out_edge_slots
 from ..graph.digraph import DiGraph
 from ..runtime.metrics import CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
+from ..runtime.registry import Registry
 from ..runtime.rng import make_rng
 
 
@@ -257,23 +258,19 @@ def _hopset_factory(**kwargs):
     return HopsetAssp(**kwargs)
 
 
-_ENGINES = {
-    "exact": ExactAssp,
-    "perturbed": PerturbedAssp,
-    "delta-stepping": DeltaSteppingAssp,
-    "flaky": FlakyAssp,
-    "fault-injecting": FaultInjectingAssp,
-    "hopset": _hopset_factory,
-}
+#: The ASSSP oracle registry — same :class:`~repro.runtime.registry.Registry`
+#: machinery as the top-level SSSP engine registry in
+#: :mod:`repro.core.engines`.
+ASSP_ENGINES = Registry("ASSSP engine")
+ASSP_ENGINES.register("exact", ExactAssp)
+ASSP_ENGINES.register("perturbed", PerturbedAssp)
+ASSP_ENGINES.register("delta-stepping", DeltaSteppingAssp)
+ASSP_ENGINES.register("flaky", FlakyAssp)
+ASSP_ENGINES.register("fault-injecting", FaultInjectingAssp)
+ASSP_ENGINES.register("hopset", _hopset_factory)
 
 
 def get_engine(name: str, **kwargs):
     """Engine factory: ``exact``, ``perturbed``, ``delta-stepping``,
-    ``flaky``."""
-    try:
-        cls = _ENGINES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown ASSSP engine {name!r}; choose from {sorted(_ENGINES)}"
-        ) from None
-    return cls(**kwargs)
+    ``flaky``, ``fault-injecting``, ``hopset``."""
+    return ASSP_ENGINES.create(name, **kwargs)

@@ -73,3 +73,40 @@ def dijkstra(g: DiGraph, source: int, weights: np.ndarray | None = None,
         dist[beyond] = np.inf
         parent[beyond] = -1
     return DijkstraResult(dist, parent, acc.snapshot())
+
+
+def dijkstra_from_labels(g: DiGraph, labels: np.ndarray,
+                         acc: CostAccumulator | None = None,
+                         model: CostModel = DEFAULT_MODEL) -> np.ndarray:
+    """Close integer ``labels`` under nonnegative-edge relaxations.
+
+    A multi-source Dijkstra in which *every* vertex starts at its own
+    label: the result is the pointwise-least fixpoint ``d`` with
+    ``d <= labels`` and ``d[v] <= d[u] + w(u,v)`` for every edge.  This
+    is the Dijkstra half of the Bellman-Ford/Dijkstra interleave used by
+    the ``fischer_simple`` engine and by BNW's ``ElimNeg`` phase; one
+    ``model.dijkstra(n, m)`` is charged per call.
+
+    Raises ``ValueError`` on a negative weight (callers pass the
+    nonnegative-edge subgraph).
+    """
+    if g.m and int(g.w.min()) < 0:
+        raise ValueError("dijkstra_from_labels requires nonnegative weights")
+    if acc is not None:
+        acc.charge_cost(model.dijkstra(g.n, g.m))
+    dist = np.asarray(labels, dtype=np.int64).astype(np.float64)
+    heap = [(float(dist[v]), v) for v in range(g.n)]
+    heapq.heapify(heap)
+    indptr, indices, w = g.indptr, g.indices, g.w
+    while heap:  # repro: noqa[RS001] heap loop covered by the up-front model.dijkstra charge
+        dv, u = heapq.heappop(heap)
+        if dv > dist[u]:
+            continue
+        lo, hi = int(indptr[u]), int(indptr[u + 1])
+        for slot in range(lo, hi):  # repro: noqa[RS001] edge scan, covered by the dijkstra charge
+            x = int(indices[slot])
+            nd = dv + float(w[slot])
+            if nd < dist[x]:
+                dist[x] = nd
+                heapq.heappush(heap, (nd, x))
+    return dist.astype(np.int64)

@@ -4,6 +4,12 @@ Subcommands
 -----------
 ``solve``     SSSP with negative weights on a DIMACS graph
               (prints distances or a negative-cycle certificate).
+              ``--engine`` picks the solver from the registry in
+              :mod:`repro.core.engines` — ``goldberg_parallel`` (the
+              paper, default via ``--mode parallel``),
+              ``goldberg_sequential``, ``bnw_scaling``,
+              ``fischer_simple`` — all of which print bit-identical
+              distances on the same input.
 ``generate``  synthesise a benchmark workload as DIMACS text.
 ``bench``     run experiments / gate against baselines.  ``bench e9``
               prints one table (legacy); ``bench run`` executes a
@@ -18,16 +24,20 @@ Subcommands
 Exit codes (``solve``)
 ----------------------
 0 distances printed; 2 invalid input (bad DIMACS, out-of-range source,
-malformed weights, unusable checkpoint); 3 negative cycle certified;
-4 retries/budget exhausted with fallback disabled; 5 deadline exceeded
-(or solve interrupted) without a fallback answer — rerun with
-``--resume`` to continue from the last checkpoint.  Diagnostics go to
-stderr.
+malformed weights, unusable checkpoint, unknown ``--engine``, or
+``--checkpoint``/``--resume`` with an engine that cannot checkpoint);
+3 negative cycle certified (every engine attaches an independently
+verified cycle certificate); 4 retries/budget exhausted with fallback
+disabled; 5 deadline exceeded (or solve interrupted) without a
+fallback answer — rerun with ``--resume`` to continue from the last
+checkpoint.  Diagnostics go to stderr.
 
 Examples::
 
     python -m repro generate hidden-potential --n 200 --m 800 > g.gr
     python -m repro solve g.gr --source 1
+    python -m repro solve g.gr --engine bnw_scaling
+    python -m repro solve g.gr --engine fischer_simple --costs
     python -m repro solve g.gr --deadline 30 --checkpoint ck.bin
     python -m repro solve g.gr --checkpoint ck.bin --resume
     python -m repro solve g.gr --trace t.jsonl && python -m repro trace t.jsonl
@@ -61,6 +71,7 @@ from .analysis import (
     run_sqrt_k_progress,
 )
 from .core import solve_sssp_resilient
+from .core.engines import ENGINE_TO_MODE, engine_names
 from .graph import generators
 from .graph.io import DimacsError, dumps_dimacs, read_dimacs
 from .observability import Tracer, tracing, write_trace
@@ -132,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="1-based source vertex (default 1)")
     ps.add_argument("--mode", choices=("parallel", "sequential"),
                     default="parallel")
+    ps.add_argument("--engine", choices=engine_names(), default=None,
+                    help="solver from the SSSP engine registry "
+                         "(default: --mode picks the Goldberg engine); "
+                         "all engines print bit-identical distances; "
+                         "only the goldberg_* engines support "
+                         "--checkpoint/--resume")
     ps.add_argument("--seed", type=int, default=0)
     ps.add_argument("--costs", action="store_true",
                     help="also print model work/span")
@@ -253,6 +270,12 @@ def cmd_solve(args) -> int:
     if args.resume and args.checkpoint is None:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return EXIT_INVALID_INPUT
+    if (args.engine is not None and args.engine not in ENGINE_TO_MODE
+            and (args.checkpoint is not None or args.resume)):
+        print(f"error: engine {args.engine!r} does not support "
+              "--checkpoint/--resume; use goldberg_parallel or "
+              "goldberg_sequential", file=sys.stderr)
+        return EXIT_INVALID_INPUT
     if args.workers is not None and args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return EXIT_INVALID_INPUT
@@ -283,11 +306,14 @@ def cmd_solve(args) -> int:
     tracer = None
     if args.trace is not None:
         tracer = Tracer(graph=str(args.graph), source=args.source,
-                        mode=args.mode, seed=args.seed)
+                        mode=args.mode, seed=args.seed,
+                        **({"engine": args.engine}
+                           if args.engine is not None else {}))
     try:
         with (tracing(tracer) if tracer is not None else nullcontext()):
             res = solve_sssp_resilient(
-                g, source, mode=args.mode, seed=args.seed,
+                g, source, mode=args.mode, engine=args.engine,
+                seed=args.seed,
                 max_retries=args.max_retries, max_work=args.max_work,
                 fallback=args.fallback, deadline=args.deadline, token=token,
                 checkpoint_path=args.checkpoint, resume=args.resume,

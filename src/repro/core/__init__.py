@@ -20,11 +20,21 @@ from .price import (
 )
 from .scaling import ScalingResult, ScalingStats, scaled_reweighting
 from .sssp import SsspResult, solve_sssp, solve_sssp_resilient
+from .engines import (
+    REFERENCE_ENGINE,
+    SSSP_ENGINES,
+    engine_names,
+    get_sssp_engine,
+)
 
 __all__ = [
     "solve_sssp",
     "solve_sssp_resilient",
     "SsspResult",
+    "SSSP_ENGINES",
+    "REFERENCE_ENGINE",
+    "engine_names",
+    "get_sssp_engine",
     "scaled_reweighting",
     "ScalingResult",
     "ScalingStats",

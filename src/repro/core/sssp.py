@@ -43,6 +43,7 @@ from ..resilience.preempt import CancelToken, Deadline, cancel_scope, make_token
 from ..resilience.retry import AttemptRecord, RetryPolicy, SolveProvenance
 from ..runtime.backends import resolve_backend
 from ..runtime.metrics import Cost, CostAccumulator
+from ..runtime.racecheck import race_read
 from ..runtime.model import CostModel, DEFAULT_MODEL
 from .scaling import ScalingStats, scaled_reweighting
 
@@ -54,6 +55,13 @@ def _reduced_weights_block(lo: int, hi: int, src: np.ndarray,
     pure function of ``(lo, hi)``, so any backend (serial, thread,
     process) may execute or re-execute it and the concatenation is
     bit-identical to the whole-array expression."""
+    # shared-memory contract, checked by `repro check --race`: blocks
+    # read the whole price vector, slice-read the edge arrays, and
+    # write nothing shared (each returns a fresh reduced-weight array)
+    race_read(price, site="sssp.reduce:price")
+    race_read(src, lo, hi, site="sssp.reduce:src")
+    race_read(dst, lo, hi, site="sssp.reduce:dst")
+    race_read(w, lo, hi, site="sssp.reduce:w")
     return w[lo:hi] + price[src[lo:hi]] - price[dst[lo:hi]]
 
 
@@ -210,7 +218,8 @@ def solve_sssp(g: DiGraph, source: int, *,
 
 
 def solve_sssp_resilient(g: DiGraph, source: int, *,
-                         mode: str = "parallel", assp_engine=None,
+                         mode: str = "parallel", engine: str | None = None,
+                         assp_engine=None,
                          eps: float = 0.2, seed=0,
                          acc: CostAccumulator | None = None,
                          model: CostModel = DEFAULT_MODEL,
@@ -273,11 +282,23 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
     reliable substrate left — instead of crashing.  The provenance
     records the final rung, every ladder demotion, and every worker loss
     absorbed along the way.
+
+    ``engine`` selects a solver from the registry in
+    :mod:`repro.core.engines` (``goldberg_parallel``,
+    ``goldberg_sequential``, ``bnw_scaling``, ``fischer_simple``).  The
+    Goldberg names are synonyms for ``mode`` and keep every feature
+    above, including checkpointing.  Other engines run through the same
+    attempt loop — verified certificates, seed-escalating retries,
+    budget/deadline guards, fault injection at the ``potential`` site,
+    Bellman–Ford degradation — but do not support
+    ``checkpoint_path``/``resume`` (an
+    :class:`~repro.resilience.errors.InputValidationError`).
     """
     if isinstance(backend, str):
         with resolve_backend(backend) as be:
             return solve_sssp_resilient(
-                g, source, mode=mode, assp_engine=assp_engine, eps=eps,
+                g, source, mode=mode, engine=engine,
+                assp_engine=assp_engine, eps=eps,
                 seed=seed, acc=acc, model=model, retry_policy=retry_policy,
                 max_retries=max_retries, fault_plan=fault_plan,
                 max_work=max_work, max_span=max_span, fallback=fallback,
@@ -285,6 +306,24 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
                 token=token, checkpoint_path=checkpoint_path,
                 resume=resume, on_checkpoint=on_checkpoint, backend=be)
     validate_graph(g, source)
+    engine_obj = None
+    engine_label = mode
+    if engine is not None:
+        # deferred import: repro.core.engines imports solve_sssp from here
+        from .engines import ENGINE_TO_MODE, get_sssp_engine
+
+        if engine in ENGINE_TO_MODE:
+            # Goldberg engines ARE solve_sssp; keep its native path so
+            # checkpointing and the assp_engine plumbing stay available
+            mode = ENGINE_TO_MODE[engine]
+            engine_label = engine
+        else:
+            engine_obj = get_sssp_engine(engine)
+            engine_label = engine
+            if checkpoint_path is not None or resume:
+                raise InputValidationError(
+                    f"engine {engine!r} does not support checkpointing; "
+                    "use goldberg_parallel or goldberg_sequential")
     if max_retries is not None and retry_policy is None:
         retry_policy = RetryPolicy(max_attempts=max_retries + 1)
     policy = retry_policy or RetryPolicy(max_attempts=3)
@@ -301,15 +340,26 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
             with cancel_scope(token), \
                     trace_span("attempt", phase="resilience",
                                attempt=attempt, seed=aseed):
-                res = solve_sssp(
-                    g, source, mode=mode, assp_engine=assp_engine,
-                    eps=eps, seed=aseed, acc=acc, model=model,
-                    check_certificates=True, fault_plan=fault_plan,
-                    retry_policy=policy, guard=guard, token=token,
-                    checkpoint_path=checkpoint_path if primary else None,
-                    resume=resume and primary,
-                    on_checkpoint=on_checkpoint if primary else None,
-                    backend=backend)
+                if engine_obj is not None:
+                    res = engine_obj.solve(
+                        g, source, seed=aseed, acc=acc, model=model,
+                        check_certificates=True, fault_plan=fault_plan,
+                        token=token, backend=backend)
+                    if guard is not None:
+                        # registry engines do not thread the guard through
+                        # their phases; enforce the budget on the whole
+                        # attempt's cost instead (raises BudgetExceededError)
+                        guard.debit(res.cost)
+                else:
+                    res = solve_sssp(
+                        g, source, mode=mode, assp_engine=assp_engine,
+                        eps=eps, seed=aseed, acc=acc, model=model,
+                        check_certificates=True, fault_plan=fault_plan,
+                        retry_policy=policy, guard=guard, token=token,
+                        checkpoint_path=checkpoint_path if primary else None,
+                        resume=resume and primary,
+                        on_checkpoint=on_checkpoint if primary else None,
+                        backend=backend)
         except DeadlineExceededError as exc:
             attempts.append(AttemptRecord("solve_sssp", attempt, aseed,
                                           False,
@@ -343,7 +393,7 @@ def solve_sssp_resilient(g: DiGraph, source: int, *,
             break
         attempts.append(AttemptRecord("solve_sssp", attempt, aseed, True))
         res.provenance = SolveProvenance(
-            engine=mode, attempts=attempts,
+            engine=engine_label, attempts=attempts,
             faults=fault_plan.summary() if fault_plan is not None else None)
         res.provenance.record_backend(backend)
         return _finish(g, res, raise_on_cycle)

@@ -58,6 +58,12 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
     "repro_solve_span_model": ("gauge", "Model span of the last solve"),
     "repro_fallbacks_total": ("counter", "Fallbacks to the exact baseline"),
     "repro_retries_total": ("counter", "Certified-retry attempts"),
+    # pluggable SSSP engine registry
+    "repro_engine_solves_total":
+        ("counter", "Completed solves by engine name"),
+    "repro_bnw_scales_total": ("counter", "BNW ScaleDown phases by outcome"),
+    "repro_bfd_rounds_total":
+        ("counter", "Fischer BFD loop terminations by outcome"),
     # scaling / reweighting loop
     "repro_scales_total": ("counter", "Scaling phases entered"),
     "repro_scale_current": ("gauge", "Current scale index"),

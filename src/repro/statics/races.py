@@ -88,6 +88,54 @@ def _probe_bf_process(pool: ForkJoinPool) -> None:
         raise AssertionError("bf-process probe: wrong distances")
 
 
+@_probe("bnw-scaling")
+def _probe_bnw_scaling(pool: ForkJoinPool) -> None:
+    """The BNW engine end-to-end under the checker: its potential search
+    is sequential in the fork tree, but the engine's final
+    reduced-weight map runs as backend-portable blocks — the probe
+    proves those blocks (whole-array reads, disjoint slice writes) carry
+    clean annotations, and that the distances match the exact
+    baseline."""
+    from ..baselines.bellman_ford import bellman_ford
+    from ..core.engines import get_sssp_engine
+    from ..graph.generators import hidden_potential_graph
+    from ..runtime.backends import ProcessForkJoinPool
+
+    g = hidden_potential_graph(48, 150, seed=13)
+    backend = ProcessForkJoinPool(pool.n_workers, grain=64)
+    try:
+        res = get_sssp_engine("bnw_scaling").solve(g, 0, backend=backend)
+    finally:
+        backend.shutdown()
+    ref = bellman_ford(g, 0)
+    if res.has_negative_cycle or not np.allclose(res.dist, ref.dist):
+        raise AssertionError("bnw-scaling probe: wrong distances")
+
+
+@_probe("fischer-simple")
+def _probe_fischer_simple(pool: ForkJoinPool) -> None:
+    """The Fischer engine end-to-end under the checker: its BFD loop's
+    negative-edge relaxation AND the final reduced-weight map both run
+    as backend-portable blocks on the process backend (which the checker
+    routes through pool-size-independent logical blocks with zero
+    processes spawned), mirroring the ``bf-process`` probe."""
+    from ..baselines.bellman_ford import bellman_ford
+    from ..core.engines import get_sssp_engine
+    from ..graph.generators import hidden_potential_graph
+    from ..runtime.backends import ProcessForkJoinPool
+
+    g = hidden_potential_graph(48, 150, seed=13)
+    backend = ProcessForkJoinPool(pool.n_workers, grain=64)
+    try:
+        res = get_sssp_engine("fischer_simple").solve(g, 0,
+                                                      backend=backend)
+    finally:
+        backend.shutdown()
+    ref = bellman_ford(g, 0)
+    if res.has_negative_cycle or not np.allclose(res.dist, ref.dist):
+        raise AssertionError("fischer-simple probe: wrong distances")
+
+
 @_probe("dag01")
 def _probe_dag01(pool: ForkJoinPool) -> None:
     from ..dag01.peeling import dag01_limited_sssp

@@ -1,0 +1,188 @@
+"""Reusable cross-engine differential driver (tests only).
+
+The contract under test: every engine in the SSSP registry
+(:mod:`repro.core.engines`), on the same ``(graph, source, seed)``,
+either returns **bit-identical distances** (any feasible potential
+yields the same distances through the shared reduced-Dijkstra tail) or
+the same **negative-cycle verdict** with an independently verified
+certificate.  The driver knows how to
+
+* run any engine uniformly (plain or through the resilient wrapper,
+  on any backend, with any fault plan) — :func:`run_engine`;
+* assert full cross-engine agreement and, on the first disagreement,
+  **commit the offending graph as a DIMACS regression fixture** under
+  ``tests/fixtures/differential/`` before failing —
+  :func:`assert_engines_agree`.  Because the dump happens on every
+  failing call, a shrinking Hypothesis run overwrites the fixture each
+  step and the file left behind is the *minimal* disagreeing graph;
+* build the standard graph-family sweep — :func:`graph_family_sweep`;
+* read the CI-configurable pool-size matrix — :func:`pool_sizes`
+  (``REPRO_DIFF_POOL_SIZES``, comma-separated, default ``2``).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+
+import numpy as np
+
+from repro.core.engines import (
+    REFERENCE_ENGINE,
+    engine_names,
+    get_sssp_engine,
+)
+from repro.core.sssp import SsspResult, solve_sssp_resilient
+from repro.graph.generators import (
+    bf_hard_graph,
+    hidden_potential_graph,
+    layered_dag,
+    planted_negative_cycle_graph,
+    random_dag,
+    random_digraph,
+    zero_heavy_digraph,
+)
+from repro.graph.io import dumps_dimacs
+from repro.resilience.errors import Certificate
+
+FIXTURE_DIR = pathlib.Path(__file__).parent / "fixtures" / "differential"
+
+ALL_ENGINES = tuple(engine_names())
+NON_REFERENCE_ENGINES = tuple(e for e in ALL_ENGINES
+                              if e != REFERENCE_ENGINE)
+
+
+def pool_sizes() -> tuple[int, ...]:
+    """Worker counts the backend-matrix tests run at.  CI's differential
+    job sets ``REPRO_DIFF_POOL_SIZES=1,4``; the local default keeps the
+    suite fast."""
+    raw = os.environ.get("REPRO_DIFF_POOL_SIZES", "2")
+    sizes = tuple(int(s) for s in raw.split(",") if s.strip())
+    if not sizes or any(s < 1 for s in sizes):
+        raise ValueError(f"bad REPRO_DIFF_POOL_SIZES={raw!r}")
+    return sizes
+
+
+def run_engine(name: str, g, source: int = 0, *, seed=0, backend=None,
+               fault_plan=None, resilient: bool = False,
+               **kwargs) -> SsspResult:
+    """One engine solve through the uniform interface.
+
+    ``resilient=True`` routes through :func:`solve_sssp_resilient`
+    (retry/fallback machinery engaged — required for fault plans that
+    must be *healed*, not merely detected)."""
+    if resilient:
+        return solve_sssp_resilient(g, source, engine=name, seed=seed,
+                                    backend=backend,
+                                    fault_plan=fault_plan, **kwargs)
+    return get_sssp_engine(name).solve(g, source, seed=seed,
+                                       backend=backend,
+                                       fault_plan=fault_plan, **kwargs)
+
+
+def dump_disagreement(g, label: str, note: str = "") -> pathlib.Path:
+    """Persist ``g`` as ``tests/fixtures/differential/<label>.gr``.
+
+    Called on every agreement failure, so a shrinking property run
+    leaves the minimal counterexample behind; commit the file and the
+    replay test (``test_committed_fixtures_replay``) keeps it as a
+    permanent regression."""
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", label).strip("-") or "case"
+    path = FIXTURE_DIR / f"{slug}.gr"
+    comments = ["differential-harness disagreement fixture"]
+    if note:
+        comments.append(note)
+    path.write_text(dumps_dimacs(g, comments=comments))
+    return path
+
+
+def _verify_cycle_independently(g, res: SsspResult) -> bool:
+    """Re-check the cycle certificate with a *fresh* Certificate object
+    (not the one the engine attached)."""
+    return Certificate(
+        "negative_cycle", cycle=list(res.negative_cycle)).verify(g)
+
+
+def assert_engines_agree(g, source: int = 0, *, seed=0,
+                         engines=None, backend=None, label: str = "case",
+                         ) -> dict[str, SsspResult]:
+    """Solve with every engine; fail (and dump a fixture) on the first
+    divergence from the reference engine.  Returns all results."""
+    names = list(engines) if engines is not None else list(ALL_ENGINES)
+    if REFERENCE_ENGINE in names:  # reference first, others compare to it
+        names.remove(REFERENCE_ENGINE)
+        names.insert(0, REFERENCE_ENGINE)
+    results: dict[str, SsspResult] = {}
+    ref_name = names[0]
+    ref = results[ref_name] = run_engine(ref_name, g, source, seed=seed,
+                                         backend=backend)
+    for name in names[1:]:
+        res = results[name] = run_engine(name, g, source, seed=seed,
+                                         backend=backend)
+        if res.has_negative_cycle != ref.has_negative_cycle:
+            path = dump_disagreement(
+                g, label, note=f"verdict split: {ref_name}="
+                f"{ref.has_negative_cycle} {name}={res.has_negative_cycle}")
+            raise AssertionError(
+                f"cycle-verdict disagreement between {ref_name} and "
+                f"{name} on {label} (source={source}, seed={seed}); "
+                f"graph committed to {path}")
+        if res.has_negative_cycle:
+            assert _verify_cycle_independently(g, res), \
+                f"{name}: invalid cycle certificate on {label}"
+            continue
+        if not np.array_equal(ref.dist, res.dist):
+            bad = np.flatnonzero(~np.isclose(ref.dist, res.dist,
+                                             equal_nan=True))
+            path = dump_disagreement(
+                g, label, note=f"distance split {ref_name} vs {name} at "
+                f"vertices {bad[:8].tolist()}")
+            raise AssertionError(
+                f"distance disagreement between {ref_name} and {name} on "
+                f"{label} (source={source}, seed={seed}, vertices "
+                f"{bad[:8].tolist()}); graph committed to {path}")
+    if ref.has_negative_cycle:
+        assert _verify_cycle_independently(g, ref), \
+            f"{ref_name}: invalid cycle certificate on {label}"
+    return results
+
+
+def graph_family_sweep(seed: int = 0, n: int = 64) -> dict:
+    """The standard family matrix: structurally different graphs, all
+    with negative edges somewhere, plus cycle and disconnection cases."""
+    rng_n = max(n, 8)
+    return {
+        "hidden-potential": hidden_potential_graph(
+            rng_n, 4 * rng_n, potential_spread=16, seed=seed),
+        "bf-hard": bf_hard_graph(rng_n, 3 * rng_n, seed=seed),
+        "random-mixed": random_digraph(rng_n, 4 * rng_n, min_w=-4,
+                                       max_w=9, seed=seed),
+        "zero-heavy": zero_heavy_digraph(rng_n, 4 * rng_n, seed=seed),
+        "layered-dagish": random_dag(rng_n, 4 * rng_n,
+                                     weights=(-2, -1, 0, 3), seed=seed),
+        "deep-layered": layered_dag(max(rng_n // 8, 3), 8,
+                                    p_negative=0.4, seed=seed),
+        "planted-cycle": planted_negative_cycle_graph(
+            rng_n, 4 * rng_n, 5, seed=seed)[0],
+        "disconnected": _disconnected_graph(rng_n, seed),
+    }
+
+
+def _disconnected_graph(n: int, seed: int):
+    """Two halves with no edges between them: every vertex of the far
+    half is unreachable (``inf``), exercising the inf-handling of the
+    map-back in every engine."""
+    half = hidden_potential_graph(n // 2, 2 * n, potential_spread=8,
+                                  seed=seed)
+    from repro.graph import DiGraph
+
+    return DiGraph(n, half.src, half.dst, half.w)
+
+
+def committed_fixtures() -> list[pathlib.Path]:
+    """All committed regression fixtures, sorted for determinism."""
+    if not FIXTURE_DIR.is_dir():
+        return []
+    return sorted(FIXTURE_DIR.glob("*.gr"))

@@ -115,3 +115,93 @@ def test_golden_cost_backend_invariant(case, backend):
     assert res.cost == base.cost
     if base.dist is not None:
         assert np.array_equal(res.dist, base.dist)
+
+
+# ---------------------------------------------------------------------------
+# per-engine golden costs (the SSSP engine registry)
+#
+# Same three canned graphs, solved by each non-Goldberg registry engine
+# at the same fixed seed.  Captured the same way: run once, embed the
+# triple, re-baseline only with an explanation in the commit.
+
+ENGINE_GOLDEN = {
+    "bnw_scaling": {
+        "hp16": Cost(4792.1456913196635, 825.6112339724759,
+                     825.6112339724759),
+        "hp24": Cost(10509.05300966929, 1327.1350449587405,
+                     1327.1350449587405),
+        "rd20neg": Cost(851.0, 194.58414452889807, 194.58414452889807),
+    },
+    "fischer_simple": {
+        "hp16": Cost(1385.4606006033046, 299.130956414956,
+                     299.130956414956),
+        "hp24": Cost(3278.816287012067, 607.1015863912721,
+                     607.1015863912721),
+        "rd20neg": Cost(5258.5162929985845, 1205.9756198944747,
+                        1205.9756198944747),
+    },
+}
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINE_GOLDEN))
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+def test_engine_golden_cost(engine, case):
+    from repro.core.engines import get_sssp_engine
+
+    make, neg, _, _ = GOLDEN[case]
+    res = get_sssp_engine(engine).solve(make(), 0, seed=SEED)
+    assert res.has_negative_cycle == neg
+    assert res.cost == ENGINE_GOLDEN[engine][case]
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINE_GOLDEN))
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_engine_golden_cost_backend_invariant(engine, case, backend):
+    """Registry engines run their block maps on the chosen backend, but
+    model costs are charged identically everywhere: the golden triple
+    must hold bit-exactly on serial, thread, and process backends (and
+    hence at any pool size — the partition is grain-determined)."""
+    import numpy as np
+
+    from repro.core.engines import get_sssp_engine
+    from repro.runtime.backends import ProcessForkJoinPool, SerialBackend
+    from repro.runtime.executor import ForkJoinPool
+
+    make, neg, _, _ = GOLDEN[case]
+    eng = get_sssp_engine(engine)
+    base = eng.solve(make(), 0, seed=SEED)
+    be = {
+        "serial": lambda: SerialBackend(grain=8),
+        "thread": lambda: ForkJoinPool(2, grain=8),
+        "process": lambda: ProcessForkJoinPool(2, grain=8,
+                                               heartbeat_interval=0.02,
+                                               liveness_timeout=1.0),
+    }[backend]()
+    try:
+        res = eng.solve(make(), 0, seed=SEED, backend=be)
+    finally:
+        be.shutdown()
+    assert res.has_negative_cycle == neg
+    assert res.cost == ENGINE_GOLDEN[engine][case]
+    assert res.cost == base.cost
+    if base.dist is not None:
+        assert np.array_equal(res.dist, base.dist)
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINE_GOLDEN))
+@pytest.mark.parametrize("pool_workers", [1, 4])
+def test_engine_golden_cost_pool_size_independent(engine, pool_workers):
+    """Same cost (and distances) at one worker and four: the thread
+    pool's size changes scheduling only, never the charged model."""
+    from repro.core.engines import get_sssp_engine
+    from repro.runtime.executor import ForkJoinPool
+
+    make, _, _, _ = GOLDEN["hp24"]
+    eng = get_sssp_engine(engine)
+    be = ForkJoinPool(pool_workers, grain=8)
+    try:
+        res = eng.solve(make(), 0, seed=SEED, backend=be)
+    finally:
+        be.shutdown()
+    assert res.cost == ENGINE_GOLDEN[engine]["hp24"]
