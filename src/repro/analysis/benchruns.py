@@ -28,6 +28,10 @@ class BenchSpec:
     runner: Callable
     full_kwargs: dict
     fast_kwargs: dict
+    # runners that accept ``raw_out`` can ship raw wall-clock samples
+    # into the record's ``wallclock`` section, where the statistical
+    # gate (gate_config.json) judges them instead of bit-exact compare
+    raw_samples: bool = False
 
     @property
     def cli_id(self) -> str:
@@ -108,12 +112,20 @@ BENCH_RUNS: list[BenchSpec] = [
               "map_blocks throughput by execution backend",
               ex.run_backend_scaling,
               dict(n=400_000, n_workers=2, repeats=7),
-              dict(n=60_000, n_workers=2, repeats=3)),
+              dict(n=60_000, n_workers=2, repeats=3),
+              raw_samples=True),
     BenchSpec("E20", "e20_engine_shootout",
               "SSSP engine registry shootout (bit-identical distances)",
               ex.run_engine_shootout,
               dict(n=300, repeats=3),
-              dict(n=120, repeats=2)),
+              dict(n=120, repeats=2),
+              raw_samples=True),
+    BenchSpec("E21", "e21_telemetry_overhead",
+              "worker-telemetry pipeline overhead (live scrape + profiler)",
+              ex.run_telemetry_overhead,
+              dict(ns=(1024, 2048, 4096), repeats=13),
+              dict(ns=(512, 1024), repeats=5),
+              raw_samples=True),
     BenchSpec("A4", "a4_cost_breakdown",
               "per-stage work breakdown",
               ex.run_cost_breakdown, dict(sizes=(128, 512)),
@@ -148,14 +160,18 @@ def resolve_specs(ids) -> list[BenchSpec]:
 def run_spec(spec: BenchSpec, *, fast: bool = False) -> tuple[dict, float]:
     """Execute one experiment; return its bench record and the elapsed
     wall-clock seconds (runner time is provenance, not a gated value)."""
-    kwargs = spec.fast_kwargs if fast else spec.full_kwargs
+    kwargs = dict(spec.fast_kwargs if fast else spec.full_kwargs)
+    raw: dict | None = {} if spec.raw_samples else None
+    if raw is not None:
+        kwargs["raw_out"] = raw
     t0 = time.perf_counter()
     rows = spec.runner(**kwargs)
     elapsed = time.perf_counter() - t0
     record = bench_record(
-        spec.bench_id, spec.title, rows,
+        spec.bench_id, spec.title, rows, wallclock=raw or None,
         meta={"exp_id": spec.exp_id, "mode": "fast" if fast else "full",
-              "kwargs": {k: v for k, v in kwargs.items()},
+              "kwargs": {k: v for k, v in kwargs.items()
+                         if k != "raw_out"},
               "runner_seconds": elapsed})
     return record, elapsed
 

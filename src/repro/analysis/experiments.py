@@ -615,3 +615,111 @@ def run_engine_shootout(n: int = 300, seed=0, repeats: int = 3,
     if raw_out is not None:
         raw_out.update(samples)
     return rows
+
+
+def run_telemetry_overhead(ns=(1024, 2048, 4096), repeats: int = 13,
+                           scrape_interval: float = 0.1,
+                           raw_out: dict | None = None) -> list[Row]:
+    """E21: what the full worker-telemetry pipeline costs when it is on.
+
+    Four variants per instance, interleaved round-robin and scored
+    best-of-``repeats`` (the E17/E18 methodology):
+
+    * ``plain`` — no ambient tracer/registry/profiler (the default);
+    * ``disabled`` — re-measures the plain path: every telemetry guard
+      is one module-global load plus a ``None`` test, so this variant's
+      delta is pure timer noise and bounds what the no-op guards could
+      cost (0% by construction);
+    * ``telemetry`` — ambient ``Tracer`` + ``MetricsRegistry`` with a
+      live :class:`~repro.observability.http.TelemetryServer` scraped
+      from a background thread every ``scrape_interval`` seconds (100ms
+      — still ~50x more aggressive than a production Prometheus scrape
+      loop; the scraper waits out the first interval so a run shorter
+      than it prices the guards and the idle server, which is the
+      steady-state cost model) — the full live-exposition pipeline,
+      gated under 5%;
+    * ``profiler`` — per-phase cProfile capture.  Reported, not gated
+      under 5%: cProfile's per-call hook prices every Python call, so
+      its cost tracks call count, not phase-boundary count.
+
+    The deterministic columns (metric families, spans closed, profiled
+    phases) come from separate clean captures, off the clock and without
+    the live server, so the nondeterministic scrape counter cannot leak
+    into bit-exact comparisons.  Raw per-round samples for the largest
+    instance land in ``raw_out`` (when given) for the statistical gate.
+    """
+    import threading
+    import urllib.request
+
+    from ..graph.generators import bf_hard_graph
+    from ..observability import MetricsRegistry, Tracer, metering, tracing
+    from ..observability.http import TelemetryServer
+    from ..observability.profiler import PhaseProfiler, profiling
+
+    rows = []
+    # one server for the whole sweep: it resolves the *ambient* registry
+    # per scrape, so each telemetry run's fresh registry is what's served
+    with TelemetryServer() as server:
+        for n in ns:
+            g = bf_hard_graph(n, 4 * n, potential_spread=8, seed=0)
+
+            def plain_run(g=g):
+                solve_sssp(g, 0, seed=0, mode="sequential")
+
+            def telemetry_run(g=g):
+                stop = threading.Event()
+
+                def scrape():
+                    url = server.url("/metrics")
+                    while not stop.wait(scrape_interval):
+                        with urllib.request.urlopen(url, timeout=5) as r:
+                            r.read()
+
+                th = threading.Thread(target=scrape, daemon=True)
+                with tracing(Tracer()), metering(MetricsRegistry()):
+                    th.start()
+                    try:
+                        solve_sssp(g, 0, seed=0, mode="sequential")
+                    finally:
+                        stop.set()
+                        th.join()
+
+            def profiler_run(g=g):
+                with profiling(PhaseProfiler()):
+                    solve_sssp(g, 0, seed=0, mode="sequential")
+
+            plain_run()  # import/cache warm-up before the first sample
+            fns = [plain_run, plain_run, telemetry_run, profiler_run]
+            samples: list[list[float]] = [[] for _ in fns]
+            for _ in range(repeats):
+                for i, fn in enumerate(fns):
+                    t0 = time.perf_counter()
+                    fn()
+                    samples[i].append(time.perf_counter() - t0)
+            plain, disabled, telem, prof_t = (min(s) for s in samples)
+
+            reg = MetricsRegistry()
+            tr = Tracer()
+            prof = PhaseProfiler()
+            with tracing(tr), metering(reg):
+                solve_sssp(g, 0, seed=0, mode="sequential")
+            with profiling(prof):
+                solve_sssp(g, 0, seed=0, mode="sequential")
+
+            rows.append(Row(
+                params={"n": n, "m": g.m},
+                values={"plain_s": round(plain, 4),
+                        "disabled_pct": round(
+                            100 * (disabled - plain) / plain, 3),
+                        "telemetry_pct": round(
+                            100 * (telem - plain) / plain, 3),
+                        "profiler_pct": round(
+                            100 * (prof_t - plain) / plain, 3),
+                        "metric_families": len(reg.state()),
+                        "spans_closed": tr.cursor(),
+                        "profiled_phases": len(prof.to_json()["phases"])}))
+            if raw_out is not None and n == max(ns):
+                raw_out.update({"plain": samples[0],
+                                "telemetry": samples[2],
+                                "profiler": samples[3]})
+    return rows

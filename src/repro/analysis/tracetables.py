@@ -34,6 +34,7 @@ __all__ = [
     "STAGE_SPAN_NAMES",
     "trace_cost_breakdown",
     "trace_phase_table",
+    "trace_worker_table",
     "run_trace_cost_breakdown",
 ]
 
@@ -102,6 +103,49 @@ def trace_phase_table(trace) -> list[Row]:
             values={**a,
                     "work_share": (a["work"] / total) if total else 0.0}))
     return rows
+
+
+def trace_worker_table(trace) -> list[Row]:
+    """Per-worker/per-backend execution breakdown from a trace.
+
+    One row per ``(backend, worker)`` pair observed on the
+    ``map-blocks-block`` spans: block count, wall time, worker CPU time
+    (process workers ship it; thread blocks have none), re-dispatches
+    (``attempt > 1`` — the fault-tolerant pool retried the block after a
+    worker loss or stale epoch), spans shipped from inside the worker,
+    and losses (``worker-lost`` trace events naming that worker id).
+    Thread-pool blocks carry no stable worker identity and aggregate
+    under worker ``"-"``.  Empty when the trace has no block spans.
+    """
+    trace = _as_trace(trace)
+    losses: dict[int, int] = {}
+    for e in trace.events:
+        if e.name == "worker-lost" and "wid" in e.attrs:
+            wid = int(e.attrs["wid"])
+            losses[wid] = losses.get(wid, 0) + 1
+    agg: dict[tuple[str, str], dict] = {}
+    order: list[tuple[str, str]] = []
+    for s in sorted(trace.spans, key=lambda s: s.start_seq):
+        if s.name != "map-blocks-block":
+            continue
+        backend = str(s.attrs.get("backend", "?"))
+        worker = s.attrs.get("worker", "-")
+        key = (backend, str(worker))
+        a = agg.get(key)
+        if a is None:
+            a = agg[key] = {"blocks": 0, "wall_s": 0.0, "cpu_s": 0.0,
+                            "redispatches": 0, "spans_shipped": 0,
+                            "losses": (losses.get(int(worker), 0)
+                                       if worker != "-" else 0)}
+            order.append(key)
+        a["blocks"] += 1
+        a["wall_s"] += s.wall
+        a["cpu_s"] += float(s.attrs.get("cpu_s", 0.0))
+        if int(s.attrs.get("attempt", 1)) > 1:
+            a["redispatches"] += 1
+        a["spans_shipped"] += int(s.attrs.get("spans_shipped", 0))
+    return [Row(params={"backend": b, "worker": w}, values=dict(agg[b, w]))
+            for b, w in sorted(order)]
 
 
 def run_trace_cost_breakdown(path) -> list[Row]:

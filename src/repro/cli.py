@@ -19,7 +19,18 @@ Subcommands
               model costs, Mann–Whitney + bootstrap CI on wall-clock;
               exits 1 on regression); ``bench baseline`` snapshots
               records into ``benchmarks/baselines/``.
-``trace``     per-phase cost breakdown of a ``solve --trace`` JSONL file.
+``trace``     per-phase cost breakdown of a ``solve --trace`` JSONL file
+              (plus the per-worker block table when the trace has one,
+              and ``--profile DIR`` for profiler hot paths).
+``profile``   solve under the deterministic per-phase profiler
+              (:mod:`repro.observability.profiler`) and print which
+              functions dominate each phase; ``--output DIR`` writes
+              pstats dumps, ``profile.json``, and a flamegraph
+              collapsed-stack file.
+
+``solve`` and ``bench run`` accept ``--metrics-port PORT`` to serve live
+telemetry over HTTP while running: ``/metrics`` (Prometheus text),
+``/healthz``, and ``/progress`` (JSON phase/scale/worker snapshot).
 
 Exit codes (``solve``)
 ----------------------
@@ -74,7 +85,8 @@ from .core import solve_sssp_resilient
 from .core.engines import ENGINE_TO_MODE, engine_names
 from .graph import generators
 from .graph.io import DimacsError, dumps_dimacs, read_dimacs
-from .observability import Tracer, tracing, write_trace
+from .observability import MetricsRegistry, Tracer, metering, tracing, \
+    write_trace
 from .resilience import (
     BudgetExceededError,
     CancelledError,
@@ -187,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--workers", type=int, default=None, metavar="N",
                     help="worker count for --backend thread/process "
                          "(default: CPU count, capped at 8)")
+    ps.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                    help="serve live telemetry on 127.0.0.1:PORT while "
+                         "solving: /metrics (Prometheus text), /healthz, "
+                         "/progress (JSON); 0 picks a free port "
+                         "(printed to stderr)")
     ps.add_argument("--liveness-timeout", type=float, default=2.0,
                     metavar="SECONDS",
                     help="--backend process: a worker silent this long "
@@ -212,10 +229,36 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("rest", nargs=argparse.REMAINDER,
                     help="action arguments (see `repro bench run --help`)")
 
+    pp = sub.add_parser(
+        "profile",
+        help="solve under the per-phase profiler and print hot-path "
+             "tables")
+    pp.add_argument("graph", help="DIMACS .gr file (or - for stdin)")
+    pp.add_argument("--source", type=int, default=1,
+                    help="1-based source vertex (default 1)")
+    pp.add_argument("--mode", choices=("parallel", "sequential"),
+                    default="parallel")
+    pp.add_argument("--engine", choices=engine_names(), default=None,
+                    help="solver engine (overrides --mode)")
+    pp.add_argument("--seed", type=int, default=0)
+    pp.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                    help="execution backend for the block maps")
+    pp.add_argument("--output", default=None, metavar="DIR",
+                    help="also write <phase>.prof pstats dumps, "
+                         "profile.json, and profile.collapsed "
+                         "(flamegraph collapsed-stack format) under DIR")
+    pp.add_argument("--top", type=int, default=10,
+                    help="functions per phase in the hot-path table "
+                         "(default 10)")
+
     pt = sub.add_parser("trace",
                         help="per-phase cost breakdown of a JSONL trace "
                              "written by solve --trace")
     pt.add_argument("trace_file", help="JSONL trace file")
+    pt.add_argument("--profile", default=None, metavar="PATH",
+                    help="also print the per-phase profiler tables from "
+                         "a profile.json (or a directory containing one) "
+                         "written by `repro profile --output`")
 
     pr = sub.add_parser("report",
                         help="rerun every experiment, write a markdown report")
@@ -248,6 +291,22 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--output", default=None, metavar="PATH",
                     help="also write the JSON report to PATH")
     return p
+
+
+def _start_telemetry_server(port: int, *, registry, tracer=None,
+                            backend=None):
+    """Validate ``port`` and start a :class:`TelemetryServer`, printing
+    its URL (stderr, ``c``-prefixed like the other diagnostics).
+    Returns the server, or raises ValueError on a bad port."""
+    from .observability.http import TelemetryServer
+
+    if not (0 <= port <= 65535):
+        raise ValueError(f"--metrics-port must be 0..65535, got {port}")
+    server = TelemetryServer(registry=registry, tracer=tracer,
+                             backend=backend, port=port)
+    server.start()
+    print(f"c metrics: {server.url('/metrics')}", file=sys.stderr)
+    return server
 
 
 def cmd_solve(args) -> int:
@@ -283,6 +342,10 @@ def cmd_solve(args) -> int:
         print("error: --liveness-timeout must be > 0 seconds",
               file=sys.stderr)
         return EXIT_INVALID_INPUT
+    if args.metrics_port is not None \
+            and not (0 <= args.metrics_port <= 65535):
+        print("error: --metrics-port must be 0..65535", file=sys.stderr)
+        return EXIT_INVALID_INPUT
     backend = None
     if args.backend is not None:
         backend = DegradationLadder.for_backend(
@@ -309,8 +372,23 @@ def cmd_solve(args) -> int:
                         mode=args.mode, seed=args.seed,
                         **({"engine": args.engine}
                            if args.engine is not None else {}))
+    registry = server = None
+    if args.metrics_port is not None:
+        registry = MetricsRegistry()
+        try:
+            server = _start_telemetry_server(
+                args.metrics_port, registry=registry, tracer=tracer,
+                backend=backend)
+        except OSError as exc:
+            print(f"error: cannot bind --metrics-port "
+                  f"{args.metrics_port}: {exc}", file=sys.stderr)
+            if backend is not None:
+                backend.shutdown()
+            return EXIT_INVALID_INPUT
     try:
-        with (tracing(tracer) if tracer is not None else nullcontext()):
+        with (tracing(tracer) if tracer is not None else nullcontext()), \
+                (metering(registry) if registry is not None
+                 else nullcontext()):
             res = solve_sssp_resilient(
                 g, source, mode=args.mode, engine=args.engine,
                 seed=args.seed,
@@ -338,6 +416,8 @@ def cmd_solve(args) -> int:
     finally:
         for sig, handler in previous_handlers.items():
             signal.signal(sig, handler)
+        if server is not None:
+            server.stop()
         if backend is not None:
             backend.shutdown()
         # export even when the solve errored/was interrupted: a partial
@@ -403,6 +483,9 @@ def _bench_run_parser() -> argparse.ArgumentParser:
                    help="shrunken parameter sweeps")
     p.add_argument("--results-dir", default=str(DEFAULT_RESULTS_DIR),
                    help=f"output directory (default {DEFAULT_RESULTS_DIR})")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="serve live telemetry on 127.0.0.1:PORT while the "
+                        "experiments run (0 picks a free port)")
     return p
 
 
@@ -457,12 +540,31 @@ def _cmd_bench_run(argv) -> int:
     from .analysis.benchruns import run_benches
 
     args = _bench_run_parser().parse_args(argv)
+    registry = server = None
+    if args.metrics_port is not None:
+        if not (0 <= args.metrics_port <= 65535):
+            print("error: --metrics-port must be 0..65535",
+                  file=sys.stderr)
+            return EXIT_INVALID_INPUT
+        registry = MetricsRegistry()
+        try:
+            server = _start_telemetry_server(args.metrics_port,
+                                             registry=registry)
+        except OSError as exc:
+            print(f"error: cannot bind --metrics-port "
+                  f"{args.metrics_port}: {exc}", file=sys.stderr)
+            return EXIT_INVALID_INPUT
     try:
-        run_benches(args.ids, args.results_dir, fast=args.fast,
-                    progress=print)
+        with (metering(registry) if registry is not None
+              else nullcontext()):
+            run_benches(args.ids, args.results_dir, fast=args.fast,
+                        progress=print)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_INVALID_INPUT
+    finally:
+        if server is not None:
+            server.stop()
     print(f"wrote records to {args.results_dir}")
     return EXIT_OK
 
@@ -538,7 +640,11 @@ def cmd_bench(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    from .analysis.tracetables import trace_cost_breakdown, trace_phase_table
+    from .analysis.tracetables import (
+        trace_cost_breakdown,
+        trace_phase_table,
+        trace_worker_table,
+    )
     from .observability import load_trace
 
     try:
@@ -549,7 +655,75 @@ def cmd_trace(args) -> int:
         return EXIT_INVALID_INPUT
     print_table(breakdown, f"cost breakdown: {args.trace_file}")
     print_table(trace_phase_table(trace), "per-phase totals")
+    workers = trace_worker_table(trace)
+    if workers:
+        print_table(workers, "per-worker blocks")
+    if args.profile is not None:
+        from .analysis.profiletables import (
+            profile_hot_table,
+            profile_phase_table,
+        )
+
+        path = pathlib.Path(args.profile)
+        if path.is_dir():
+            path = path / "profile.json"
+        try:
+            from .observability.profiler import load_profile_json
+            doc = load_profile_json(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_INVALID_INPUT
+        print_table(profile_phase_table(doc), f"profiled phases: {path}")
+        print_table(profile_hot_table(doc), "hot paths")
     return 0
+
+
+def cmd_profile(args) -> int:
+    from .analysis.profiletables import (
+        profile_hot_table,
+        profile_phase_table,
+    )
+    from .observability.profiler import PhaseProfiler, profiling
+
+    try:
+        g = read_dimacs(sys.stdin if args.graph == "-" else args.graph)
+    except (DimacsError, InputValidationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    source = args.source - 1
+    if not (0 <= source < g.n):
+        print(f"error: source {args.source} out of range 1..{g.n}",
+              file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    if args.top < 1:
+        print("error: --top must be >= 1", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    backend = None
+    if args.backend is not None:
+        backend = DegradationLadder.for_backend(args.backend)
+    profiler = PhaseProfiler(top=args.top)
+    try:
+        with profiling(profiler):
+            res = solve_sssp_resilient(
+                g, source, mode=args.mode, engine=args.engine,
+                seed=args.seed, backend=backend)
+    except InputValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    finally:
+        if backend is not None:
+            backend.shutdown()
+    if res.has_negative_cycle:
+        print("c negative cycle certified; profiling the detection path",
+              file=sys.stderr)
+    if args.output is not None:
+        paths = profiler.write(args.output)
+        print(f"c profile exports: {', '.join(str(p) for p in sorted(paths.values()))}",
+              file=sys.stderr)
+    print_table(profile_phase_table(profiler),
+                f"profiled phases: {args.graph}")
+    print_table(profile_hot_table(profiler, args.top), "hot paths")
+    return EXIT_OK if not res.has_negative_cycle else EXIT_NEGATIVE_CYCLE
 
 
 def cmd_report(args) -> int:
@@ -641,6 +815,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_report(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "check":
         return cmd_check(args)
     return cmd_bench(args)

@@ -52,6 +52,7 @@ from ..baselines.dijkstra import dijkstra_from_labels
 from ..baselines.johnson import johnson_potential
 from ..graph.digraph import DiGraph
 from ..observability.metrics import metric_inc
+from ..observability.profiler import profile_scope
 from ..observability.tracer import trace_span
 from ..runtime.metrics import CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
@@ -136,7 +137,8 @@ def _scale_down(g: DiGraph, wr: np.ndarray, target: int, rng,
     # reduced weights >= -target — the BNW halving trick
     wb = np.where(wr < 0, wr + target, wr).astype(np.int64)
     with trace_span("bnw-scale-down", acc=acc, phase="bnw", target=target,
-                    neg_edges=int((wb < 0).sum())) as sp:
+                    neg_edges=int((wb < 0).sum())) as sp, \
+            profile_scope("bnw-scale-down"):
         cluster = _ldd_clusters(g, np.maximum(wb, 0), max(4 * target, 4),
                                 rng, acc, model)
         sp.count("clusters", int(cluster.max()) + 1 if g.n else 0)

@@ -47,6 +47,7 @@ import numpy as np
 from ..baselines.dijkstra import dijkstra
 from ..graph.digraph import DiGraph
 from ..observability.metrics import metric_inc
+from ..observability.profiler import profile_scope
 from ..observability.tracer import trace_span
 from ..resilience.errors import (
     Certificate,
@@ -204,7 +205,8 @@ class _PotentialEngine:
             local.charge_cost(model.map(g.m))
             with local.stage("final-dijkstra"), \
                     trace_span("final-dijkstra", acc=local,
-                               phase="solve") as dsp:
+                               phase="solve") as dsp, \
+                    profile_scope("final-dijkstra"):
                 dj = dijkstra(g, source, weights=w_red, model=model)
                 local.charge_cost(dj.cost)
                 dsp.count("settled", int(np.isfinite(dj.dist).sum()))

@@ -40,7 +40,9 @@ from ..baselines.dijkstra import dijkstra_from_labels
 from ..baselines.johnson import johnson_potential
 from ..graph.digraph import DiGraph
 from ..observability.metrics import metric_inc
+from ..observability.profiler import profile_scope
 from ..observability.tracer import trace_span
+from ..observability.worker import worker_span
 from ..runtime.metrics import CostAccumulator
 from ..runtime.racecheck import race_read
 from ..runtime.model import CostModel, DEFAULT_MODEL
@@ -60,7 +62,10 @@ def _neg_candidates_block(lo: int, hi: int, nsrc: np.ndarray,
     race_read(d, site="fischer.neg:d")
     race_read(nsrc, lo, hi, site="fischer.neg:src")
     race_read(nw, lo, hi, site="fischer.neg:w")
-    return d[nsrc[lo:hi]] + nw[lo:hi]
+    # worker_span: shipped from process workers, no-op everywhere else
+    with worker_span("block-neg-candidates", lo=lo, hi=hi) as wsp:
+        wsp.count("edges", hi - lo)
+        return d[nsrc[lo:hi]] + nw[lo:hi]
 
 
 def fischer_potential(g: DiGraph, *, seed=0,
@@ -91,7 +96,8 @@ def fischer_potential(g: DiGraph, *, seed=0,
         d = np.zeros(g.n, dtype=np.int64)
         cap = min(len(neg), max(g.n - 1, 1)) + 1
         with trace_span("fischer-bfd", acc=local, phase="fischer",
-                        n=g.n, m=g.m, neg_edges=len(neg)) as sp:
+                        n=g.n, m=g.m, neg_edges=len(neg)) as sp, \
+                profile_scope("fischer-bfd"):
             for rounds in range(1, cap + 1):  # repro: noqa[RS001] each BFD round charges its dijkstra + map cost inside
                 if token is not None:
                     token.check("fischer:bfd-round")

@@ -38,6 +38,7 @@ from ..resilience.checkpoint import (
     save_checkpoint,
 )
 from ..observability.metrics import metric_inc, metric_set
+from ..observability.profiler import profile_scope
 from ..observability.tracer import current_tracer, trace_event, trace_span
 from ..resilience.errors import Certificate, CheckpointError
 from ..resilience.preempt import CancelToken, cancel_scope
@@ -197,7 +198,8 @@ def scaled_reweighting(g: DiGraph, weights: np.ndarray | None = None, *,
                 # so the checkpointed trace cursor covers the whole scale
                 # subtree (export.stitch_traces relies on this)
                 with trace_span("scale", acc=local, phase="scaling",
-                                scale=s, index=scale_idx) as ssp:
+                                scale=s, index=scale_idx) as ssp, \
+                        profile_scope("scale"):
                     # effective weights at this scale: ceil(w/s) + price
                     # terms; the invariant guarantees they are >= -1
                     w_eff = _ceil_div(w, s) + price[g.src] - price[g.dst]

@@ -37,7 +37,9 @@ from ..resilience.errors import (
     WorkerPoolError,
 )
 from ..observability.metrics import metric_inc, metric_observe
+from ..observability.profiler import profile_scope
 from ..observability.tracer import trace_event, trace_span
+from ..observability.worker import worker_span
 from ..resilience.guard import BudgetGuard
 from ..resilience.preempt import CancelToken, Deadline, cancel_scope, make_token
 from ..resilience.retry import AttemptRecord, RetryPolicy, SolveProvenance
@@ -62,7 +64,12 @@ def _reduced_weights_block(lo: int, hi: int, src: np.ndarray,
     race_read(src, lo, hi, site="sssp.reduce:src")
     race_read(dst, lo, hi, site="sssp.reduce:dst")
     race_read(w, lo, hi, site="sssp.reduce:w")
-    return w[lo:hi] + price[src[lo:hi]] - price[dst[lo:hi]]
+    # worker_span: records on a process worker's shipped tracer; no-op
+    # in-process (a plain trace_span here would corrupt the thread
+    # pool's parent stack from a worker thread)
+    with worker_span("block-reduce", lo=lo, hi=hi) as wsp:
+        wsp.count("edges", hi - lo)
+        return w[lo:hi] + price[src[lo:hi]] - price[dst[lo:hi]]
 
 
 @dataclass
@@ -199,7 +206,9 @@ def solve_sssp(g: DiGraph, source: int, *,
             w_red = g.w + price[g.src] - price[g.dst] if g.m else g.w
         local.charge_cost(model.map(g.m))
         with local.stage("final-dijkstra"), \
-                trace_span("final-dijkstra", acc=local, phase="solve") as dsp:
+                trace_span("final-dijkstra", acc=local,
+                           phase="solve") as dsp, \
+                profile_scope("final-dijkstra"):
             dj = dijkstra(g, source, weights=w_red, model=model)
             local.charge_cost(dj.cost)
             dsp.count("settled", int(np.isfinite(dj.dist).sum()))
@@ -437,7 +446,8 @@ def _bellman_ford_fallback(g: DiGraph, source: int, model: CostModel,
     local = CostAccumulator()
     with local.stage("fallback-bellman-ford"), \
             trace_span("fallback-bellman-ford", acc=local,
-                       phase="resilience", n=g.n, m=g.m) as sp:
+                       phase="resilience", n=g.n, m=g.m) as sp, \
+            profile_scope("fallback-bellman-ford"):
         bf = bellman_ford(g, source, model=model)
         local.charge_cost(bf.cost)
         if bf.negative_cycle is None:

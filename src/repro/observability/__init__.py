@@ -16,7 +16,18 @@ Three modules (DESIGN.md "Observability"):
   tracer; closing spans bump the registry, and the solver phases record
   first-class metrics (scales, retries, peel rounds, reach/refine calls,
   checkpoint bytes) through the no-op-when-off :func:`metric_inc` /
-  :func:`metric_set` / :func:`metric_observe` guards.
+  :func:`metric_set` / :func:`metric_observe` guards;
+* :mod:`~repro.observability.worker` — cross-process telemetry shipping
+  for the process backend: in-worker :class:`WorkerSession` ambient
+  installs, the :func:`worker_span` guard block functions use, and the
+  parent-side splice/fold (:func:`record_shipped_block`);
+* :mod:`~repro.observability.http` — :class:`TelemetryServer`, the
+  stdlib live-exposition server (``/metrics`` Prometheus text,
+  ``/healthz``, ``/progress`` JSON) behind ``repro solve
+  --metrics-port``;
+* :mod:`~repro.observability.profiler` — :class:`PhaseProfiler` with the
+  ambient :func:`profile_scope` guard (per-top-level-phase cProfile,
+  pstats + collapsed-stack exports) behind ``repro profile``.
 
 Typical use::
 
@@ -67,6 +78,31 @@ from .metrics import (
     parse_prometheus_text,
     write_metrics_json,
 )
+from .http import (
+    HEALTH_SCHEMA,
+    PROGRESS_SCHEMA,
+    TelemetryServer,
+    progress_snapshot,
+)
+from .profiler import (
+    PROFILE_SCHEMA,
+    PROFILE_SCHEMA_VERSION,
+    PhaseProfiler,
+    current_profiler,
+    load_profile_json,
+    profile_scope,
+    profiling,
+)
+from .worker import (
+    MAX_SHIPPED_SPANS,
+    WorkerSession,
+    WorkerTelemetry,
+    in_worker_session,
+    record_shipped_block,
+    ship_flags,
+    worker_event,
+    worker_span,
+)
 
 __all__ = [
     "Span",
@@ -101,4 +137,23 @@ __all__ = [
     "write_metrics_json",
     "load_metrics_json",
     "parse_prometheus_text",
+    "HEALTH_SCHEMA",
+    "PROGRESS_SCHEMA",
+    "TelemetryServer",
+    "progress_snapshot",
+    "PROFILE_SCHEMA",
+    "PROFILE_SCHEMA_VERSION",
+    "PhaseProfiler",
+    "current_profiler",
+    "load_profile_json",
+    "profile_scope",
+    "profiling",
+    "MAX_SHIPPED_SPANS",
+    "WorkerSession",
+    "WorkerTelemetry",
+    "in_worker_session",
+    "record_shipped_block",
+    "ship_flags",
+    "worker_event",
+    "worker_span",
 ]

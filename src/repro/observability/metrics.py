@@ -82,12 +82,24 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
     # execution backends / worker fleet
     "repro_workers_spawned_total":
         ("counter", "Worker processes spawned by backend"),
+    "repro_blocks_completed_total":
+        ("counter", "map_blocks blocks completed by backend"),
     "repro_worker_losses_total":
         ("counter", "Workers lost mid-call (death or hang)"),
     "repro_worker_redispatches_total":
         ("counter", "Blocks re-dispatched after loss or straggling"),
     "repro_backend_demotions_total":
         ("counter", "Degradation-ladder rung changes"),
+    # worker telemetry shipping (process backend -> parent registry)
+    "repro_worker_spans_shipped_total":
+        ("counter", "In-worker spans spliced into the parent trace"),
+    "repro_worker_span_drops_total":
+        ("counter", "Worker spans dropped by the per-block shipping cap"),
+    # live exposition / profiler
+    "repro_scrapes_total":
+        ("counter", "Telemetry HTTP requests served by endpoint"),
+    "repro_profile_phases_total":
+        ("counter", "Profiler phase captures by phase name"),
     # span-fold metrics (emitted by MetricsRegistry.span_closed)
     "repro_spans_total": ("counter", "Closed tracer spans"),
     "repro_span_wall_seconds": ("histogram", "Span wall time"),
@@ -146,9 +158,18 @@ class _Family:
         return _label_key(self.labelnames, labels)
 
     def samples(self) -> list[tuple[tuple, object]]:
-        """(labelvalues, value) pairs in insertion order."""
+        """(labelvalues, value) pairs in insertion order.
+
+        Histogram children are copied under the family lock, so a
+        concurrent scrape (``/metrics`` while a solve is observing) can
+        never see a torn ``(bucket_counts, sum, count)`` triple —
+        cumulative bucket lines, ``_sum`` and ``_count`` in one
+        exposition always describe the same set of observations.
+        """
         with self._lock:
-            return list(self._children.items())
+            return [(key, value.copy() if isinstance(value, _HistChild)
+                     else value)
+                    for key, value in self._children.items()]
 
 
 class Counter(_Family):
@@ -197,6 +218,13 @@ class _HistChild:
         self.bucket_counts = [0] * (nbuckets + 1)   # +1 for +Inf
         self.sum = 0.0
         self.count = 0
+
+    def copy(self) -> "_HistChild":
+        out = _HistChild(len(self.bucket_counts) - 1)
+        out.bucket_counts = list(self.bucket_counts)
+        out.sum = self.sum
+        out.count = self.count
+        return out
 
 
 class Histogram(_Family):
@@ -407,6 +435,60 @@ class MetricsRegistry:
             else:
                 raise ValueError(f"unknown metric type {kind!r}")
         return reg
+
+    # ------------------------------------------------------------------
+    # cross-process folding (worker telemetry shipping)
+    # ------------------------------------------------------------------
+    def fold(self, doc: "dict | MetricsRegistry") -> None:
+        """Merge another registry's samples into this one.
+
+        ``doc`` is a registry or its :meth:`to_json` document (the form
+        shipped over a worker pipe).  Counters and histogram series
+        *add* — a worker registry is a pure delta (fresh per block), so
+        folding every accepted block's registry accounts each sample
+        exactly once regardless of pool size or re-dispatch, mirroring
+        how block *results* are deduplicated.  Gauges take the folded
+        value (last-write-wins, the same semantics as :meth:`set`).
+        """
+        if isinstance(doc, MetricsRegistry):
+            doc = doc.to_json()
+        if doc.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"unknown metrics schema {doc.get('schema')!r} "
+                f"(expected {METRICS_SCHEMA})")
+        for rec in doc.get("metrics", ()):
+            name, kind = rec["name"], rec["type"]
+            labelnames = tuple(rec.get("labelnames", ()))
+            help_ = rec.get("help", "")
+            if kind == "counter":
+                cfam = self.counter(name, help_, labelnames)
+                for s in rec["samples"]:
+                    cfam.inc(float(s["value"]), **s["labels"])
+            elif kind == "gauge":
+                gfam = self.gauge(name, help_, labelnames)
+                for s in rec["samples"]:
+                    gfam.set(float(s["value"]), **s["labels"])
+            elif kind == "histogram":
+                buckets = tuple(float(b) for b in rec["buckets"])
+                hfam = self.histogram(name, help_, labelnames,
+                                      buckets=buckets)
+                if hfam.buckets != buckets:
+                    raise ValueError(
+                        f"histogram {name!r} folded with buckets "
+                        f"{buckets}, declared {hfam.buckets}")
+                for s in rec["samples"]:
+                    key = hfam._child_key(s["labels"])
+                    with hfam._lock:
+                        child = hfam._children.get(key)
+                        if not isinstance(child, _HistChild):
+                            child = hfam._children[key] = _HistChild(
+                                len(hfam.buckets))
+                        for i, c in enumerate(s["bucket_counts"]):
+                            child.bucket_counts[i] += int(c)
+                        child.sum += float(s["sum"])
+                        child.count += int(s["count"])
+            else:
+                raise ValueError(f"unknown metric type {kind!r}")
 
     # ------------------------------------------------------------------
     # Prometheus text exposition

@@ -267,6 +267,89 @@ class Tracer:
             self.events.append(TraceEvent(name, t, parent, attrs))
 
     # ------------------------------------------------------------------
+    # cross-process splicing (worker telemetry shipping)
+    # ------------------------------------------------------------------
+    def add_closed_span(self, name: str, *, parent: int | None,
+                        phase: str = "", t_start: float, t_end: float,
+                        attrs: dict | None = None,
+                        counters: dict | None = None) -> Span:
+        """Record an already-finished span with a known wall interval.
+
+        The process backend uses this for ``map-blocks-block`` spans
+        whose duration was measured *inside the worker* — unlike
+        :meth:`span`, the interval is supplied, not sampled here.  The
+        span is structural (zero cost deltas; model costs are charged
+        parent-side) and folds into the bound/ambient metrics registry
+        exactly like a normally-closed span.
+        """
+        with self._lock:
+            sp = Span(sid=len(self.spans), parent=parent, name=name,
+                      phase=phase, start_seq=self._start_seq,
+                      t_start=t_start, t_end=t_end,
+                      closed_seq=self._closed,
+                      attrs=dict(attrs or {}), counters=dict(counters or {}))
+            self._start_seq += 1
+            self._closed += 1
+            self.spans.append(sp)
+        reg = self.metrics if self.metrics is not None else current_metrics()
+        if reg is not None:
+            reg.span_closed(sp)
+        return sp
+
+    def splice(self, spans, events=(), *, parent: int | None,
+               t_offset: float = 0.0,
+               extra_attrs: dict | None = None) -> int:
+        """Graft closed spans recorded by another tracer under ``parent``.
+
+        Sids are renumbered into this tracer's id space and parent links
+        remapped; donor roots (and donor spans whose parent did not ship)
+        attach to ``parent``, so a spliced trace never contains orphan
+        parent references.  ``t_offset`` shifts donor timestamps (the
+        donor epoch is the worker's block start) onto this tracer's
+        epoch.  Spliced spans are provenance, not accounting: they are
+        *not* folded into the metrics registry (the worker ships its own
+        metric deltas, folded separately) and contribute nothing to the
+        parent's cost ledger.  Returns the number of spans spliced;
+        donor spans still open are skipped.
+        """
+        closed = sorted((s for s in spans if s.closed),
+                        key=lambda s: s.start_seq)
+        extra = dict(extra_attrs or {})
+        with self._lock:
+            remap: dict[int, int] = {}
+            for s in closed:
+                nid = len(self.spans)
+                remap[s.sid] = nid
+                mapped = (parent if s.parent is None
+                          else remap.get(s.parent, parent))
+                self.spans.append(Span(
+                    sid=nid, parent=mapped, name=s.name, phase=s.phase,
+                    start_seq=self._start_seq,
+                    t_start=s.t_start + t_offset,
+                    t_end=(s.t_end + t_offset
+                           if s.t_end is not None else None),
+                    closed_seq=self._closed,
+                    work=s.work, span=s.span, span_model=s.span_model,
+                    attrs={**s.attrs, **extra},
+                    counters=dict(s.counters), error=s.error))
+                self._start_seq += 1
+                self._closed += 1
+            for e in events:
+                mapped = (parent if e.parent is None
+                          else remap.get(e.parent, parent))
+                self.events.append(TraceEvent(
+                    e.name, e.t + t_offset, mapped,
+                    {**e.attrs, **extra}))
+        return len(closed)
+
+    def open_spans(self) -> list[dict]:
+        """The currently-open span stack, outermost first — the live
+        ``/progress`` endpoint's "what phase are we in" view."""
+        with self._lock:
+            return [{"sid": s.sid, "name": s.name, "phase": s.phase}
+                    for s in self._stack]
+
+    # ------------------------------------------------------------------
     # resume / stitching support
     # ------------------------------------------------------------------
     def cursor(self) -> int:

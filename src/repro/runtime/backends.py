@@ -56,7 +56,12 @@ from multiprocessing import connection
 from typing import Any, Protocol, runtime_checkable
 
 from ..observability.metrics import metric_inc
-from ..observability.tracer import current_tracer, trace_span
+from ..observability.tracer import current_tracer, trace_event, trace_span
+from ..observability.worker import (
+    WorkerSession,
+    record_shipped_block,
+    ship_flags,
+)
 from ..resilience.errors import CancelledError, WorkerPoolError
 from ..resilience.preempt import (
     CancelToken,
@@ -175,8 +180,18 @@ def _decode_exc(encoded: tuple) -> BaseException:
 
 def _worker_main(wid: int, conn: Any, heartbeat_interval: float) -> None:
     """One worker: receive ``(epoch, bid, fn, lo, hi, args, attempt,
-    faults, remaining)`` tasks on its private pipe, run ``fn`` on a side
-    thread while the main loop streams heartbeats, send the result back.
+    faults, remaining, telem)`` tasks on its private pipe, run ``fn`` on a
+    side thread while the main loop streams heartbeats, send the result
+    back.
+
+    ``telem`` is the parent's :func:`~repro.observability.worker.
+    ship_flags` — when set, the block runs inside a fresh
+    :class:`~repro.observability.worker.WorkerSession` whose packed
+    spans/metric deltas ride the ``ok`` result (and whose progress
+    snapshot rides every heartbeat).  The session is installed even when
+    ``telem`` is None: a forked worker inherits the parent's ambient
+    tracer/registry as dead fork-snapshot copies, and the session masks
+    them so in-worker instrumentation can never record into lost memory.
 
     Injected systemic faults (:class:`~repro.resilience.faults.
     WorkerFaults`) fire *here*, inside the worker process, exactly as a
@@ -193,7 +208,8 @@ def _worker_main(wid: int, conn: Any, heartbeat_interval: float) -> None:
             os._exit(71)   # EX_OSERR: poisoned task, let the parent reap us
         if msg is None:
             return
-        epoch, bid, fn, lo, hi, args, attempt, faults, remaining = msg
+        (epoch, bid, fn, lo, hi, args, attempt, faults, remaining,
+         telem) = msg
         if faults is not None and faults.fires("worker_kill", lo, attempt):
             os.kill(os.getpid(), signal.SIGKILL)
         if faults is not None and faults.fires("worker_hang", lo, attempt):
@@ -204,10 +220,11 @@ def _worker_main(wid: int, conn: Any, heartbeat_interval: float) -> None:
             return
         box: dict[str, Any] = {}
         done = threading.Event()
+        sess = WorkerSession(telem)
 
         def _run(box=box, done=done, fn=fn, lo=lo, hi=hi, args=args,
                  remaining=remaining, epoch=epoch, bid=bid,
-                 attempt=attempt) -> None:
+                 attempt=attempt, sess=sess) -> None:
             token = None
             if remaining is not None:
                 # deadline propagation across the process boundary: the
@@ -215,9 +232,10 @@ def _worker_main(wid: int, conn: Any, heartbeat_interval: float) -> None:
                 # checks inside fn observe a local token bound to it
                 token = CancelToken(Deadline.after(max(remaining, 0.0)))
             try:
-                with cancel_scope(token):
-                    box["msg"] = ("ok", wid, epoch, bid, attempt,
-                                  fn(lo, hi, *args))
+                with cancel_scope(token), sess:
+                    value = fn(lo, hi, *args)
+                box["msg"] = ("ok", wid, epoch, bid, attempt, value,
+                              sess.collect())
             except BaseException as exc:  # repro: noqa[RS007] full fidelity: every failure crosses the pipe as data
                 box["msg"] = ("err", wid, epoch, bid, attempt,
                               _encode_exc(exc))
@@ -228,7 +246,8 @@ def _worker_main(wid: int, conn: Any, heartbeat_interval: float) -> None:
         thread.start()
         while not done.wait(heartbeat_interval):
             try:
-                conn.send(("hb", wid, epoch, bid, attempt))
+                conn.send(("hb", wid, epoch, bid, attempt,
+                           sess.progress()))
             except (BrokenPipeError, OSError):
                 return
         if faults is not None and faults.fires("result_drop", lo, attempt):
@@ -240,7 +259,8 @@ def _worker_main(wid: int, conn: Any, heartbeat_interval: float) -> None:
 
 
 class _Worker:
-    __slots__ = ("wid", "proc", "conn", "busy", "last_event")
+    __slots__ = ("wid", "proc", "conn", "busy", "last_event",
+                 "last_progress")
 
     def __init__(self, wid: int, proc: Any, conn: Any) -> None:
         self.wid = wid
@@ -249,6 +269,9 @@ class _Worker:
         self.busy: tuple[int, int, int, tuple[int, int]] | None = None
         # busy = (epoch, bid, attempt, (lo, hi)); None when idle
         self.last_event = time.monotonic()
+        # latest heartbeat-piggybacked telemetry snapshot
+        # (spans_closed, metric_families), for /progress liveness
+        self.last_progress: tuple[int, int] | None = None
 
 
 class _Task:
@@ -353,6 +376,23 @@ class ProcessForkJoinPool:
         return [w.proc.pid for w in self._workers.values()
                 if w.proc.is_alive() and w.proc.pid is not None]
 
+    def live_status(self) -> dict[str, Any]:
+        """Worker-fleet liveness for the ``/progress`` endpoint."""
+        now = time.monotonic()
+        return {
+            "backend": self.name,
+            "n_workers": self.n_workers,
+            "losses": len(self.worker_losses),
+            "workers": [
+                {"wid": w.wid, "pid": w.proc.pid,
+                 "alive": w.proc.is_alive(),
+                 "busy": (list(w.busy[3]) if w.busy is not None else None),
+                 "last_event_age_s": round(now - w.last_event, 3),
+                 "progress": (list(w.last_progress)
+                              if w.last_progress is not None else None)}
+                for w in self._workers.values()],
+        }
+
     def _spawn_worker(self) -> _Worker:
         wid = self._next_wid
         self._next_wid += 1
@@ -394,6 +434,11 @@ class ProcessForkJoinPool:
             exitcode=w.proc.exitcode, block=block, attempt=attempt,
             detail=detail))
         metric_inc("repro_worker_losses_total", kind=kind)
+        # mark the loss in the trace: the lost worker's telemetry died
+        # with it (nothing was shipped), so the event is the record
+        trace_event("worker-lost", wid=w.wid, kind=kind,
+                    block=list(block) if block else None,
+                    attempt=attempt, detail=detail)
 
     # -- the fault-tolerant map ----------------------------------------
 
@@ -418,9 +463,11 @@ class ProcessForkJoinPool:
         blocks = min(max(1, n // g), 4 * self.n_workers)
         if blocks <= 1:
             with trace_span("map-blocks", phase="runtime", n=n,
-                            blocks=1, workers=1) as psp:
+                            blocks=1, workers=1,
+                            backend=self.name) as psp:
                 psp.count("blocks_run", 1)
                 out = [fn(0, n, *args)]
+            metric_inc("repro_blocks_completed_total", backend=self.name)
             if token is not None:
                 token.check("map_blocks:join")
             return out
@@ -428,7 +475,8 @@ class ProcessForkJoinPool:
         tasks = [_Task(bid, lo, min(lo + step, n))
                  for bid, lo in enumerate(range(0, n, step))]
         with trace_span("map-blocks", phase="runtime", n=n,
-                        blocks=len(tasks), workers=self.n_workers) as psp:
+                        blocks=len(tasks), workers=self.n_workers,
+                        backend=self.name) as psp:
             results = self._drive(tasks, fn, args, token, psp)
             psp.count("blocks_run", len(tasks))
         return [results[t.bid] for t in tasks]
@@ -444,14 +492,18 @@ class ProcessForkJoinPool:
         poll = min(self.heartbeat_interval, 0.05)
         tracer = current_tracer()
         dispatch_sid = psp.span.sid if tracer is not None else None
+        telem = ship_flags()
 
-        def record_block_span(t: _Task, wid: int, attempt: int) -> None:
-            if tracer is None:
-                return
-            with tracer.span("map-blocks-block", parent=dispatch_sid,
-                             detached=True, phase="runtime", lo=t.lo,
-                             hi=t.hi, worker=wid, attempt=attempt):
-                pass
+        def record_block_span(t: _Task, wid: int, attempt: int,
+                              shipped: Any) -> None:
+            # accepted result: splice the worker's shipped telemetry
+            # under this call's map-blocks span and fold its metric
+            # deltas — this runs *after* the epoch/duplicate filter, so
+            # stale straggler telemetry is discarded with its result
+            record_shipped_block(shipped, parent=dispatch_sid, wid=wid,
+                                 attempt=attempt, lo=t.lo, hi=t.hi,
+                                 backend=self.name)
+            metric_inc("repro_blocks_completed_total", backend=self.name)
 
         def dispatch(w: _Worker, t: _Task, *, cause: str) -> bool:
             t.dispatches += 1
@@ -463,7 +515,7 @@ class ProcessForkJoinPool:
                 self._fault_plan.note_worker_dispatch(t.lo, t.hi, attempt)
             try:
                 w.conn.send((epoch, t.bid, fn, t.lo, t.hi, args, attempt,
-                             self._worker_faults, remaining))
+                             self._worker_faults, remaining, telem))
             except (BrokenPipeError, OSError):
                 t.dispatches -= 1
                 self._reap_worker(w, "death", "pipe broke at dispatch")
@@ -635,17 +687,28 @@ class ProcessForkJoinPool:
                 return error
             kind = msg[0]
             w.last_event = time.monotonic()
-            if kind in ("start", "hb"):
+            if kind == "start":
                 continue
-            _, wid, m_epoch, bid, attempt, payload = msg
+            if kind == "hb":
+                if len(msg) > 5 and msg[5] is not None:
+                    w.last_progress = msg[5]
+                continue
+            if kind == "ok":
+                _, wid, m_epoch, bid, attempt, payload, shipped = msg
+            else:
+                _, wid, m_epoch, bid, attempt, payload = msg
+                shipped = None
             w.busy = None
             if m_epoch != epoch or bid in results:
-                continue  # stale epoch or late duplicate: discard
+                # stale epoch or late duplicate: discard — shipped
+                # telemetry rides the result, so it is dropped by
+                # exactly the same test (no double accounting)
+                continue
             t = by_bid[bid]
             t.inflight.discard(wid)
             if kind == "ok":
                 results[bid] = payload
-                record_block_span(t, wid, attempt)
+                record_block_span(t, wid, attempt, shipped)
             elif kind == "err":
                 exc = _decode_exc(payload)
                 if error is None or bid < error[0]:
@@ -843,6 +906,19 @@ class DegradationLadder:
                 return
         raise WorkerPoolError("no shared-memory rung available",
                               backend=self.name)
+
+    def live_status(self) -> dict[str, Any]:
+        """Current rung's worker liveness (``/progress``), without
+        instantiating a rung that never ran."""
+        be = self._instances.get(self._rung)
+        inner = getattr(be, "live_status", None)
+        status: dict[str, Any] = (inner() if callable(inner) else {
+            "backend": self.name,
+            "n_workers": getattr(be, "n_workers", None),
+        })
+        status["rung"] = self.name
+        status["demotions"] = len(self.demotions)
+        return status
 
     def telemetry(self) -> dict[str, Any]:
         """Backend provenance: current rung, demotions, worker losses."""

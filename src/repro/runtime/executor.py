@@ -32,6 +32,7 @@ import threading
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Any, Callable
 
+from ..observability.metrics import metric_inc
 from ..observability.tracer import current_tracer, trace_span
 from ..resilience.preempt import CancelToken, current_token
 from .racecheck import RaceChecker, current_race_checker
@@ -231,9 +232,11 @@ class ForkJoinPool:
             return checked_map_blocks(checker, n, fn, args, g, token)
         if self._pool is None or n <= g:
             with trace_span("map-blocks", phase="runtime", n=n,
-                            blocks=1, workers=1) as psp:
+                            blocks=1, workers=1,
+                            backend=self.name) as psp:
                 psp.count("blocks_run", 1)
                 out = [fn(0, n, *args)]
+            metric_inc("repro_blocks_completed_total", backend=self.name)
             if token is not None:
                 token.check("map_blocks:join")
             return out
@@ -246,7 +249,7 @@ class ForkJoinPool:
             return fn(lo, hi, *args)
 
         with trace_span("map-blocks", phase="runtime", n=n, blocks=blocks,
-                        workers=self.n_workers) as psp:
+                        workers=self.n_workers, backend=self.name) as psp:
             tracer = current_tracer()
             if tracer is not None:
                 dispatch_sid = psp.span.sid
@@ -255,7 +258,8 @@ class ForkJoinPool:
                 def run_block(lo: int, hi: int):
                     with tracer.span("map-blocks-block",
                                      parent=dispatch_sid, detached=True,
-                                     phase="runtime", lo=lo, hi=hi):
+                                     phase="runtime", lo=lo, hi=hi,
+                                     backend=self.name):
                         return inner_block(lo, hi)
 
             futures = []
@@ -268,7 +272,10 @@ class ForkJoinPool:
             self._join_or_raise(futures)
             if token is not None:
                 token.check("map_blocks:join")
-            return [f.result() for f in futures]
+            out = [f.result() for f in futures]
+            metric_inc("repro_blocks_completed_total", len(futures),
+                       backend=self.name)
+            return out
 
     def shutdown(self) -> None:
         """Release the worker threads; idempotent (extra calls are no-ops)."""

@@ -18,6 +18,7 @@ data sticks to discrete, platform-independent facts.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.sssp import solve_sssp
@@ -231,3 +232,36 @@ def test_golden_traces_are_deterministic(case):
     t1, _ = _solve_traced(spec["make"]())
     t2, _ = _solve_traced(spec["make"]())
     assert phase_sequence(t1) == phase_sequence(t2)
+
+
+# ---------------------------------------------------------------------------
+# process backend: shipped worker spans ride along, skeleton unchanged
+# ---------------------------------------------------------------------------
+
+@pytest.mark.telemetry
+def test_golden_skeleton_survives_process_backend_with_shipped_spans():
+    """Solving over the process pool splices in-worker spans into the
+    trace but must not perturb the golden structural skeleton — shipped
+    spans are runtime-layer additions, like parallel-for spans."""
+    from repro.runtime.backends import ProcessForkJoinPool
+
+    spec = GOLDEN["hp16"]
+    base_trace, base = _solve_traced(spec["make"]())
+    with ProcessForkJoinPool(2, grain=8) as pool:
+        tr = Tracer()
+        with tracing(tr):
+            res = solve_sssp(spec["make"](), 0, seed=SEED, backend=pool)
+    np.testing.assert_array_equal(res.dist, base.dist)
+    trace = Trace.from_tracer(tr)
+    assert phase_sequence(trace, names=SKELETON_NAMES) == spec["skeleton"]
+    blocks = [s for s in trace.spans
+              if s.name == "map-blocks-block"
+              and s.attrs.get("backend") == "process"]
+    assert blocks, "process solve must record shipped block spans"
+    for s in blocks:
+        assert "worker" in s.attrs
+    shipped = [s for s in trace.spans if s.name == "block-reduce"]
+    assert shipped and all("worker" in s.attrs for s in shipped)
+    # splicing renumbers sids but must never orphan a parent
+    sids = {s.sid for s in trace.spans}
+    assert all(s.parent is None or s.parent in sids for s in trace.spans)

@@ -328,3 +328,66 @@ class TestSolverMetrics:
         g = hidden_potential_graph(16, 40, seed=1)
         solve_sssp(g, 0, seed=7)
         assert current_metrics() is None
+
+
+# ---------------------------------------------------------------------------
+# concurrent-scrape safety (the /metrics torn-read hammer)
+# ---------------------------------------------------------------------------
+
+class TestConcurrentScrape:
+    def test_scrape_hammer_never_tears_a_histogram(self):
+        """Writers bump counters and observe histograms while readers
+        snapshot continuously; every snapshot must be internally
+        consistent (``sum(bucket deltas) == count``, exposition text
+        parseable) and the final totals exact."""
+        import threading
+
+        reg = MetricsRegistry()
+        writers, rounds = 4, 300
+        start = threading.Barrier(writers + 2)
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def write(wid: int):
+            start.wait()
+            for i in range(rounds):
+                reg.inc("repro_test_hammer_total", 1.0, writer=str(wid))
+                reg.observe("repro_test_hammer_obs", float(i % 7))
+
+        def read():
+            start.wait()
+            while not stop.is_set():
+                try:
+                    for fam in parse_prometheus_text(
+                            reg.to_prometheus()).families():
+                        for _, child in fam.samples():
+                            if hasattr(child, "bucket_counts"):
+                                assert sum(child.bucket_counts) \
+                                    == child.count
+                    st = reg.state()
+                    hist = st.get("repro_test_hammer_obs")
+                    if hist:
+                        for sample in hist["samples"].values():
+                            # per-bucket counts must sum to the count
+                            assert sum(sample["bucket_counts"]) \
+                                == sample["count"]
+                except Exception as exc:  # noqa: BLE001 - reported below
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=write, args=(w,))
+                   for w in range(writers)]
+        threads += [threading.Thread(target=read) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads[:writers]:
+            t.join()
+        stop.set()
+        for t in threads[writers:]:
+            t.join(5.0)
+        assert not errors
+        st = reg.state()
+        assert sum(st["repro_test_hammer_total"]["samples"].values()) \
+            == writers * rounds
+        assert st["repro_test_hammer_obs"]["samples"][""]["count"] \
+            == writers * rounds

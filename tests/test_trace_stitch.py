@@ -128,3 +128,95 @@ def test_stitch_requires_cursor(tmp_path):
     # explicit cursor works regardless
     out = stitch_traces(t1, t2, cursor=0)
     assert phase_sequence(out) == phase_sequence(t2)
+
+
+# ---------------------------------------------------------------------------
+# shipped worker spans: stitching, chaos, and Perfetto export
+# ---------------------------------------------------------------------------
+
+def _assert_no_orphans(trace: Trace) -> None:
+    sids = {s.sid for s in trace.spans}
+    for s in trace.spans:
+        assert s.parent is None or s.parent in sids, \
+            f"span {s.sid} ({s.name}) has orphan parent {s.parent}"
+
+
+@pytest.mark.telemetry
+def test_stitched_process_backend_trace_with_shipped_spans(tmp_path):
+    """Crash/resume over the process backend: both trace halves carry
+    spliced in-worker spans, and the stitch still reproduces the
+    uninterrupted phase story with no orphaned parents."""
+    from repro.runtime.backends import ProcessForkJoinPool
+
+    g = generators.hidden_potential_graph(18, 56, potential_spread=9,
+                                          seed=2)
+    with ProcessForkJoinPool(2, grain=8) as pool:
+        base_trace, base = _traced(
+            lambda: solve_sssp_resilient(g, 0, seed=0, backend=pool))
+        base_seq = phase_sequence(base_trace)
+
+        path = tmp_path / "ck.bin"
+
+        def crash_first(ck):
+            raise SimulatedCrash
+
+        tr1 = Tracer()
+        with tracing(tr1), pytest.raises(SimulatedCrash):
+            solve_sssp_resilient(g, 0, seed=0, backend=pool,
+                                 checkpoint_path=path,
+                                 on_checkpoint=crash_first)
+        tr2 = Tracer()
+        with tracing(tr2):
+            res = solve_sssp_resilient(g, 0, seed=0, backend=pool,
+                                       checkpoint_path=path, resume=True)
+    np.testing.assert_array_equal(res.dist, base.dist)
+    first, resumed = Trace.from_tracer(tr1), Trace.from_tracer(tr2)
+    for half in (first, resumed):
+        _assert_no_orphans(half)
+    stitched = stitch_traces(first, resumed)
+    assert phase_sequence(stitched) == base_seq
+    shipped = [s for s in stitched.spans if s.name == "block-reduce"]
+    assert shipped and all("worker" in s.attrs for s in shipped)
+
+
+@pytest.mark.telemetry
+@pytest.mark.chaos
+def test_worker_kill_chaos_trace_marks_losses_no_orphans(tmp_path):
+    """Chaos kills under tracing: lost workers surface as worker-lost
+    events, re-dispatched blocks keep attempt>1 attrs, the spliced trace
+    has no orphan parents, and the Perfetto export stays loadable."""
+    import json
+
+    from repro.observability import write_trace
+    from repro.resilience.faults import FaultPlan, FaultSpec
+    from repro.runtime.backends import ProcessForkJoinPool
+
+    g = generators.hidden_potential_graph(24, 70, seed=2)
+    ref = solve_sssp_resilient(g, 0, seed=0)
+    plan = FaultPlan([FaultSpec("worker_kill", calls=(1,))], seed=3)
+    tr = Tracer()
+    with ProcessForkJoinPool(2, grain=8, liveness_timeout=0.5,
+                             backoff_base=0.01) as pool:
+        with tracing(tr):
+            res = solve_sssp_resilient(g, 0, seed=0, backend=pool,
+                                       fault_plan=plan)
+        losses = list(pool.worker_losses)
+    np.testing.assert_array_equal(res.dist, ref.dist)
+    trace = Trace.from_tracer(tr)
+    _assert_no_orphans(trace)
+    lost_events = [e for e in trace.events if e.name == "worker-lost"]
+    assert len(lost_events) == len(losses) >= 1
+    for e in lost_events:
+        assert e.attrs["kind"] in ("death", "hang")
+    redispatched = [s for s in trace.spans
+                    if s.name == "map-blocks-block"
+                    and s.attrs.get("attempt", 1) > 1]
+    assert redispatched, "a killed block must be re-dispatched"
+    # Perfetto export with shipped spans: valid JSON, worker args ride
+    out = write_trace(tr, tmp_path / "chaos.chrome.json", fmt="chrome")
+    doc = json.loads(out.read_text())
+    names = {e.get("name") for e in doc["traceEvents"]}
+    assert "map-blocks-block" in names and "worker-lost" in names
+    assert any(e.get("args", {}).get("worker") is not None
+               for e in doc["traceEvents"]
+               if e.get("name") == "block-reduce")
