@@ -32,6 +32,7 @@ import numpy as np
 from ..baselines.dijkstra import dijkstra
 from ..graph.csr import out_edge_slots
 from ..graph.digraph import DiGraph
+from ..resilience.errors import InputValidationError
 from ..runtime.metrics import CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
 from ..runtime.registry import Registry
@@ -105,7 +106,8 @@ class DeltaSteppingAssp:
                  weights: np.ndarray | None = None) -> np.ndarray:
         w = g.w if weights is None else np.asarray(weights, dtype=np.int64)
         if g.m and w.min() < 0:
-            raise ValueError("delta-stepping requires nonnegative weights")
+            raise InputValidationError(
+                "delta-stepping requires nonnegative weights")
         local = CostAccumulator()
         dist = _delta_stepping(g, source, w, self.delta, local, model)
         _charge_oracle(g, acc, model, measured_span=local.span)
@@ -118,7 +120,7 @@ def _delta_stepping(g: DiGraph, source: int, w: np.ndarray,
                     delta: int | None, acc: CostAccumulator,
                     model: CostModel) -> np.ndarray:
     if not (0 <= source < g.n):
-        raise ValueError("source out of range")
+        raise InputValidationError("source out of range")
     if delta is None:
         positive = w[w > 0]
         delta = int(positive.min()) if len(positive) else 1
@@ -265,8 +267,8 @@ ASSP_ENGINES = Registry("ASSSP engine")
 ASSP_ENGINES.register("exact", ExactAssp)
 ASSP_ENGINES.register("perturbed", PerturbedAssp)
 ASSP_ENGINES.register("delta-stepping", DeltaSteppingAssp)
-ASSP_ENGINES.register("flaky", FlakyAssp)
-ASSP_ENGINES.register("fault-injecting", FaultInjectingAssp)
+ASSP_ENGINES.register("flaky", FlakyAssp)  # repro: noqa[RS013] delegation wrapper: charges through self.inner (an instance attribute the static call graph cannot type); the wrapped oracle carries the charge
+ASSP_ENGINES.register("fault-injecting", FaultInjectingAssp)  # repro: noqa[RS013] delegation wrapper: charges through self.inner, same as flaky above
 ASSP_ENGINES.register("hopset", _hopset_factory)
 
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.digraph import DiGraph
+from ..resilience.errors import InputValidationError
 from ..runtime.metrics import CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
 from ..runtime.rng import make_rng
@@ -62,7 +63,8 @@ class HopsetAssp:
                  weights: np.ndarray | None = None) -> np.ndarray:
         w = g.w if weights is None else np.asarray(weights, dtype=np.int64)
         if g.m and w.min() < 0:
-            raise ValueError("hopset ASSSP requires nonnegative weights")
+            raise InputValidationError(
+                "hopset ASSSP requires nonnegative weights")
         local = CostAccumulator()
         dist = self._solve(g, source, w, local, model)
         _charge_oracle(g, acc, model, measured_span=local.span)

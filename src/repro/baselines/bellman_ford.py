@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.digraph import DiGraph
+from ..resilience.errors import InputValidationError, VerificationError
 from ..runtime.metrics import Cost, CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
 
@@ -47,7 +48,7 @@ def bellman_ford(g: DiGraph, source: int, weights: np.ndarray | None = None,
     which is then extracted by walking predecessor pointers.
     """
     if not (0 <= source < g.n):
-        raise ValueError("source out of range")
+        raise InputValidationError("source out of range")
     w = (g.w if weights is None else np.asarray(weights, dtype=np.int64)
          ).astype(np.float64)
     acc = CostAccumulator()
@@ -164,7 +165,7 @@ def _extract_cycle_sequential(g: DiGraph, w: np.ndarray,
                     steps += 1
         if not changed:
             break
-    raise RuntimeError("negative cycle detected but extraction failed")
+    raise VerificationError("negative cycle detected but extraction failed")
 
 
 def bellman_ford_distance_only(g: DiGraph, source: int,

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.digraph import DiGraph
+from ..resilience.errors import InputValidationError
 from ..runtime.metrics import Cost, CostAccumulator
 from ..runtime.model import CostModel, DEFAULT_MODEL
 
@@ -31,14 +32,15 @@ def dijkstra(g: DiGraph, source: int, weights: np.ndarray | None = None,
              model: CostModel = DEFAULT_MODEL) -> DijkstraResult:
     """Exact SSSP with nonnegative integer weights.
 
-    Raises ``ValueError`` on a negative weight.  Vertices farther than
+    Raises :class:`~repro.resilience.errors.InputValidationError`
+    (a ``ValueError``) on a negative weight.  Vertices farther than
     ``limit`` (if given) are reported as ``+inf``.
     """
     if not (0 <= source < g.n):
-        raise ValueError("source out of range")
+        raise InputValidationError("source out of range")
     w = g.w if weights is None else np.asarray(weights, dtype=np.int64)
     if g.m and w.min() < 0:
-        raise ValueError("dijkstra requires nonnegative weights")
+        raise InputValidationError("dijkstra requires nonnegative weights")
     acc = CostAccumulator()
     acc.charge_cost(model.dijkstra(g.n, g.m))
     dist = np.full(g.n, np.inf)
@@ -91,7 +93,8 @@ def dijkstra_from_labels(g: DiGraph, labels: np.ndarray,
     nonnegative-edge subgraph).
     """
     if g.m and int(g.w.min()) < 0:
-        raise ValueError("dijkstra_from_labels requires nonnegative weights")
+        raise InputValidationError(
+            "dijkstra_from_labels requires nonnegative weights")
     if acc is not None:
         acc.charge_cost(model.dijkstra(g.n, g.m))
     dist = np.asarray(labels, dtype=np.int64).astype(np.float64)

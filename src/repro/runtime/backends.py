@@ -62,7 +62,8 @@ from ..observability.worker import (
     record_shipped_block,
     ship_flags,
 )
-from ..resilience.errors import CancelledError, WorkerPoolError
+from ..resilience.errors import (CancelledError, InputValidationError,
+                                 WorkerPoolError)
 from ..resilience.preempt import (
     CancelToken,
     Deadline,
@@ -828,8 +829,8 @@ class DegradationLadder:
         """The standard ladder starting at ``name``
         (``process``/``thread``/``serial``)."""
         if name not in BACKEND_NAMES:
-            raise ValueError(f"unknown backend {name!r}; "
-                             f"choose from {BACKEND_NAMES}")
+            raise InputValidationError(
+                f"unknown backend {name!r}; choose from {BACKEND_NAMES}")
         rungs: list[tuple[str, Any]] = []
         if name == "process":
             rungs.append(("process", lambda: ProcessForkJoinPool(

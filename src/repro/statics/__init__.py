@@ -27,25 +27,31 @@ from .engine import (
     Finding,
     LintReport,
     ModuleContext,
+    ProjectRule,
     Rule,
     RuleMeta,
     lint_paths,
     lint_source,
     run_lint,
 )
+from .flow import FLOW_RULES, cross_validate_rs012, flow_rules_by_id
 from .races import RACE_PROBES, RaceCheckReport, run_race_probes
 from .rules import ALL_RULES, rules_by_id
 
 __all__ = [
     "ALL_RULES",
+    "FLOW_RULES",
     "Baseline",
     "Finding",
     "LintReport",
     "ModuleContext",
+    "ProjectRule",
     "RACE_PROBES",
     "RaceCheckReport",
     "Rule",
     "RuleMeta",
+    "cross_validate_rs012",
+    "flow_rules_by_id",
     "lint_paths",
     "lint_source",
     "rules_by_id",

@@ -48,6 +48,7 @@ class RuleMeta:
     id: str
     title: str
     rationale: str
+    severity: str = "error"
 
 
 @dataclass
@@ -179,6 +180,24 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule(Rule):
+    """A rule that inspects the *whole project*, not one module.
+
+    Project rules (the interprocedural RS011–RS015 family in
+    :mod:`repro.statics.flow`) run after every module is parsed: the
+    engine builds one :class:`~repro.statics.flow.project.ProjectContext`
+    over all contexts and calls :meth:`check_project` once.  Findings
+    still anchor to a (path, line) pair, so noqa and baseline
+    suppression work unchanged.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "object") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
 # ---------------------------------------------------------------------------
 # baseline
 # ---------------------------------------------------------------------------
@@ -251,10 +270,22 @@ class LintReport:
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
     files_checked: int = 0
     rules_run: list[str] = field(default_factory=list)
+    rule_meta: dict[str, RuleMeta] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.findings and not self.stale_baseline
+
+    def _finding_json(self, f: Finding) -> dict:
+        """One finding plus its rule's metadata — the JSON artifact must
+        be self-describing (CI consumers see title/severity, not just an
+        opaque rule id).  The text renderer stays id-only."""
+        doc = f.to_json()
+        meta = self.rule_meta.get(f.rule)
+        if meta is not None:
+            doc["title"] = meta.title
+            doc["severity"] = meta.severity
+        return doc
 
     def to_json(self) -> dict:
         return {
@@ -262,10 +293,11 @@ class LintReport:
             "ok": self.ok,
             "files_checked": self.files_checked,
             "rules_run": list(self.rules_run),
-            "findings": [f.to_json() for f in self.findings],
-            "suppressed_noqa": [f.to_json() for f in self.suppressed_noqa],
+            "findings": [self._finding_json(f) for f in self.findings],
+            "suppressed_noqa": [
+                self._finding_json(f) for f in self.suppressed_noqa],
             "suppressed_baseline": [
-                f.to_json() for f in self.suppressed_baseline],
+                self._finding_json(f) for f in self.suppressed_baseline],
             "stale_baseline": [e.to_json() for e in self.stale_baseline],
         }
 
@@ -318,21 +350,39 @@ def _apply_suppressions(raw: list[Finding], ctx_by_path: dict[str,
             continue
         report.findings.append(f)
     if baseline is not None:
+        # only entries whose rule actually ran can be judged stale: a
+        # subset run (e.g. the flow plane alone) must not condemn the
+        # other plane's grandfathered findings
+        ran = set(report.rules_run)
         report.stale_baseline = [e for e in baseline.entries
-                                 if e.fingerprint not in matched_fps]
+                                 if e.fingerprint not in matched_fps
+                                 and e.rule in ran]
 
 
 def run_lint(contexts: Sequence[ModuleContext], rules: Sequence[Rule],
              baseline: Baseline | None = None) -> LintReport:
-    """Run ``rules`` over already-parsed module contexts."""
+    """Run ``rules`` over already-parsed module contexts.
+
+    Module rules see each context in turn; :class:`ProjectRule`\\ s see
+    one project context built over all of them (the interprocedural
+    pass parses nothing new — it reuses the same trees).
+    """
     report = LintReport(files_checked=len(contexts),
-                        rules_run=[r.meta.id for r in rules])
+                        rules_run=[r.meta.id for r in rules],
+                        rule_meta={r.meta.id: r.meta for r in rules})
     raw: list[Finding] = []
     ctx_by_path: dict[str, ModuleContext] = {}
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
     for ctx in contexts:
         ctx_by_path[ctx.path] = ctx
-        for rule in rules:
+        for rule in module_rules:
             raw.extend(rule.check(ctx))
+    if project_rules:
+        from .flow.project import ProjectContext
+        project = ProjectContext(contexts)
+        for prule in project_rules:
+            raw.extend(prule.check_project(project))
     _apply_suppressions(raw, ctx_by_path, baseline, report)
     return report
 

@@ -1,0 +1,32 @@
+"""Interprocedural flow analysis (``repro check --flow``).
+
+The call-graph + dataflow layer on top of the parse-once
+:class:`~repro.statics.engine.ModuleContext` engine: module-level symbol
+resolution (:mod:`.symbols`), a project call graph with reachability
+queries (:mod:`.callgraph`), per-function effect summaries
+(:mod:`.summaries`), and the five interprocedural rules RS011–RS015
+(:mod:`.rules`).  :mod:`.crossval` is the static-vs-dynamic containment
+harness that keeps RS012 a superset of the runtime race probes.
+"""
+
+from .callgraph import CallGraph, Reach
+from .crossval import CrossValidation, cross_validate_rs012
+from .project import ProjectContext
+from .rules import FLOW_RULES, flow_rules_by_id
+from .summaries import EffectSummary, summarize
+from .symbols import ClassInfo, FunctionInfo, ModuleSymbols
+
+__all__ = [
+    "FLOW_RULES",
+    "CallGraph",
+    "ClassInfo",
+    "CrossValidation",
+    "EffectSummary",
+    "FunctionInfo",
+    "ModuleSymbols",
+    "ProjectContext",
+    "Reach",
+    "cross_validate_rs012",
+    "flow_rules_by_id",
+    "summarize",
+]

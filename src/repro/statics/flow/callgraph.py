@@ -1,0 +1,135 @@
+"""Project call graph and reachability queries.
+
+Edges come from each function's effect summary: dotted callee names are
+resolved through the defining module's symbol table; ``self.meth(...)``
+calls resolve through the class hierarchy.  Two resolution modes:
+
+* **precise** — when the query supplies a *receiver class* (the concrete
+  engine class RS013 is checking), ``self`` calls resolve through that
+  class's MRO, so ``_PotentialEngine.solve → self._potential`` lands on
+  the subclass override actually reachable from that engine;
+* **CHA** — with no receiver, ``self`` calls resolve to every override
+  in the defining class's hierarchy (class-hierarchy analysis): an
+  over-approximation, which is the safe direction for "worker-side code
+  must stay cancellable" style queries.
+
+Calling a project *class* adds an edge to its ``__init__`` (through the
+MRO) and records the class as constructed — RS013 uses that to follow
+factory functions to the engine class they build.  Attribute calls on
+receivers the symbol tables cannot type (``backend.map_blocks``) create
+no edges: the analysis never guesses.
+"""
+
+from __future__ import annotations
+
+from .project import ProjectContext
+from .symbols import ClassInfo, FunctionInfo
+
+__all__ = ["CallGraph", "Reach"]
+
+
+class Reach:
+    """The result of one reachability query."""
+
+    def __init__(self) -> None:
+        self.functions: set[str] = set()       # fqns reached
+        self.constructed: set[str] = set()     # class fqns constructed
+
+    def any_summary(self, project: ProjectContext, attr: str) -> bool:
+        """OR of one boolean effect over the reached set."""
+        for fqn in self.functions:
+            s = project.summary(fqn)
+            if s is not None and getattr(s, attr):
+                return True
+        return False
+
+
+class CallGraph:
+    """Resolved call edges over a :class:`ProjectContext`."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+
+    # -- edge resolution ----------------------------------------------
+    def callees(self, info: FunctionInfo,
+                receiver: ClassInfo | None = None
+                ) -> tuple[list[FunctionInfo], list[ClassInfo]]:
+        """(functions called, classes constructed) from one function."""
+        project = self.project
+        summ = project.summary(info.fqn)
+        if summ is None:
+            return [], []
+        fns: list[FunctionInfo] = []
+        classes: list[ClassInfo] = []
+        for dotted in summ.calls:
+            fqn = project.resolve(info.module, dotted)
+            if fqn is None:
+                continue
+            fn = project.functions.get(fqn)
+            if fn is not None:
+                fns.append(fn)
+                continue
+            cls = project.classes.get(fqn)
+            if cls is not None:
+                classes.append(cls)
+                init = project.lookup_method(cls, "__init__")
+                if init is not None:
+                    fns.append(init)
+        for meth_name in summ.self_calls:
+            fns.extend(self._resolve_self(info, meth_name, receiver))
+        return fns, classes
+
+    def _resolve_self(self, info: FunctionInfo, meth_name: str,
+                      receiver: ClassInfo | None) -> list[FunctionInfo]:
+        project = self.project
+        if receiver is not None:
+            meth = project.lookup_method(receiver, meth_name)
+            return [meth] if meth is not None else []
+        if info.class_fqn is None:
+            return []
+        owner = project.classes.get(info.class_fqn)
+        if owner is None:
+            return []
+        out: list[FunctionInfo] = []
+        meth = project.lookup_method(owner, meth_name)
+        if meth is not None:
+            out.append(meth)
+        for sub in project.subclasses(owner):
+            override = sub.methods.get(meth_name)
+            if override is not None:
+                out.append(override)
+        return out
+
+    # -- reachability -------------------------------------------------
+    def reachable(self, entries: list[FunctionInfo],
+                  receiver: ClassInfo | None = None,
+                  follow_constructed: bool = True) -> Reach:
+        """BFS over call edges from ``entries``.
+
+        ``follow_constructed`` also descends into ``solve``/``__call__``
+        of every project class a reached function constructs — that is
+        how a registered factory *function* leads to the engine class it
+        returns.
+        """
+        project = self.project
+        reach = Reach()
+        queue: list[tuple[FunctionInfo, ClassInfo | None]] = [
+            (e, receiver) for e in entries]
+        while queue:
+            info, recv = queue.pop(0)
+            if info.fqn in reach.functions:
+                continue
+            reach.functions.add(info.fqn)
+            fns, classes = self.callees(info, recv)
+            for fn in fns:
+                queue.append((fn, recv))
+            for cls in classes:
+                if cls.fqn in reach.constructed:
+                    continue
+                reach.constructed.add(cls.fqn)
+                if follow_constructed:
+                    for entry_name in ("solve", "__call__"):
+                        meth = project.lookup_method(cls, entry_name)
+                        if meth is not None:
+                            queue.append((meth, cls))
+        return reach

@@ -1,0 +1,81 @@
+"""Static-vs-dynamic cross-validation: RS012 ⊇ the race probes.
+
+The acceptance bar for the static purity rule is *containment*: every
+conflict the runtime shadow-memory checker reports on the committed
+probe set must correspond to a finding RS012 already reports statically
+(active or noqa-justified — a suppressed finding still proves the rule
+*saw* the hazard).  Matching is by the ``site=`` label both planes
+carry: the dynamic :class:`~repro.runtime.racecheck.RaceFinding` names
+its conflicting access sites, and RS012 embeds the annotation's site
+string in its message.
+
+The harness runs the full probe set *including* the hidden ``racy-demo``
+probe — the planted bug is exactly the case that must be caught twice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..engine import LintReport, lint_paths
+
+__all__ = ["CrossValidation", "cross_validate_rs012"]
+
+
+@dataclass
+class CrossValidation:
+    """Outcome of one static ⊇ dynamic containment check."""
+
+    dynamic_sites: list[str] = field(default_factory=list)
+    matched: dict[str, str] = field(default_factory=dict)  # site -> msg
+    missing: list[str] = field(default_factory=list)
+    static_report: LintReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing
+
+    def render(self) -> str:
+        lines = [f"dynamic race sites: {len(self.dynamic_sites)}, "
+                 f"statically matched: {len(self.matched)}, "
+                 f"missing: {len(self.missing)}"]
+        for site in self.missing:
+            lines.append(f"  UNMATCHED dynamic site {site!r} — RS012 "
+                         "reported nothing mentioning it")
+        return "\n".join(lines)
+
+
+def cross_validate_rs012(
+        roots: Sequence[str | Path] = ("src",),
+        pool_sizes: tuple[int, ...] = (2,),
+        relative_to: str | Path | None = None) -> CrossValidation:
+    """Run every probe (hidden ones included) dynamically, RS012
+    statically, and assert site containment."""
+    from ..races import probe_names, run_race_probes
+    from .rules import flow_rules_by_id
+
+    dynamic = run_race_probes(probe_names(include_hidden=True),
+                              pool_sizes=pool_sizes)
+    static = lint_paths(roots, rules=flow_rules_by_id(["RS012"]),
+                        relative_to=relative_to)
+
+    out = CrossValidation(static_report=static)
+    messages = [f.message for f in (static.findings
+                                    + static.suppressed_noqa
+                                    + static.suppressed_baseline)]
+    seen: set[str] = set()
+    for run in dynamic.runs:
+        for finding in run.report.findings:
+            for site in (finding.a_site, finding.b_site):
+                if not site or site in seen:
+                    continue
+                seen.add(site)
+                out.dynamic_sites.append(site)
+                hit = next((m for m in messages if site in m), None)
+                if hit is not None:
+                    out.matched[site] = hit
+                else:
+                    out.missing.append(site)
+    return out

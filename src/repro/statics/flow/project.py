@@ -1,0 +1,122 @@
+"""The project-wide context the flow rules run against.
+
+Built once per lint run from the already-parsed
+:class:`~repro.statics.engine.ModuleContext` list — the interprocedural
+pass re-parses nothing.  It owns:
+
+* one :class:`~repro.statics.flow.symbols.ModuleSymbols` per module;
+* flat fqn tables of every project function (including methods) and
+  class;
+* a cached :func:`~repro.statics.flow.summaries.summarize` per function;
+* class-hierarchy queries (MRO linearisation, method lookup through
+  bases, exception-taxonomy membership) used by RS013/RS014.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..engine import ModuleContext
+from .summaries import EffectSummary, summarize
+from .symbols import ClassInfo, FunctionInfo, ModuleSymbols
+
+__all__ = ["ProjectContext"]
+
+
+class ProjectContext:
+    """Symbol tables and summaries over every module in one lint run."""
+
+    def __init__(self, contexts: Sequence[ModuleContext]) -> None:
+        self.contexts = list(contexts)
+        self.modules: dict[str, ModuleSymbols] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self._summaries: dict[str, EffectSummary] = {}
+        for ctx in self.contexts:
+            syms = ModuleSymbols(ctx)
+            self.modules[syms.name] = syms
+            for fn in syms.functions.values():
+                self.functions[fn.fqn] = fn
+            for cls in syms.classes.values():
+                self.classes[cls.fqn] = cls
+                for meth in cls.methods.values():
+                    self.functions[meth.fqn] = meth
+
+    # -- name resolution ----------------------------------------------
+    def resolve(self, module: str, dotted: str) -> str | None:
+        """Absolute fqn for ``dotted`` as used inside ``module``."""
+        syms = self.modules.get(module)
+        if syms is None:
+            return None
+        return syms.resolve(dotted)
+
+    def function_at(self, module: str, dotted: str) -> FunctionInfo | None:
+        fqn = self.resolve(module, dotted)
+        return self.functions.get(fqn) if fqn else None
+
+    def class_at(self, module: str, dotted: str) -> ClassInfo | None:
+        fqn = self.resolve(module, dotted)
+        return self.classes.get(fqn) if fqn else None
+
+    # -- summaries ----------------------------------------------------
+    def summary(self, fqn: str) -> EffectSummary | None:
+        info = self.functions.get(fqn)
+        if info is None:
+            return None
+        cached = self._summaries.get(fqn)
+        if cached is None:
+            cached = summarize(info)
+            self._summaries[fqn] = cached
+        return cached
+
+    # -- class hierarchy ----------------------------------------------
+    def resolve_base(self, cls: ClassInfo, base: str) -> ClassInfo | None:
+        fqn = self.resolve(cls.module, base)
+        return self.classes.get(fqn) if fqn else None
+
+    def mro(self, cls: ClassInfo) -> list[ClassInfo]:
+        """Depth-first left-to-right linearisation (C3 is overkill for
+        the single-inheritance engine hierarchy)."""
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            cur = stack.pop(0)
+            if cur.fqn in seen:
+                continue
+            seen.add(cur.fqn)
+            out.append(cur)
+            for base in cur.bases:
+                resolved = self.resolve_base(cur, base)
+                if resolved is not None:
+                    stack.append(resolved)
+        return out
+
+    def lookup_method(self, cls: ClassInfo,
+                      name: str) -> FunctionInfo | None:
+        for c in self.mro(cls):
+            meth = c.methods.get(name)
+            if meth is not None:
+                return meth
+        return None
+
+    def subclasses(self, cls: ClassInfo) -> list[ClassInfo]:
+        out = []
+        for other in self.classes.values():
+            if other.fqn == cls.fqn:
+                continue
+            if any(c.fqn == cls.fqn for c in self.mro(other)):
+                out.append(other)
+        return out
+
+    # -- exception taxonomy -------------------------------------------
+    def inherits_from(self, cls: ClassInfo, root_name: str) -> bool:
+        """True when ``cls`` (transitively) names a base whose leaf is
+        ``root_name`` — taxonomy membership without importing anything."""
+        for c in self.mro(cls):
+            if c.name == root_name:
+                return True
+            for base in c.bases:
+                if base.rsplit(".", 1)[-1] == root_name:
+                    return True
+        return False

@@ -1,0 +1,187 @@
+"""Module-level symbol resolution for the interprocedural pass.
+
+One :class:`ModuleSymbols` per parsed module records what a dotted name
+*means* at module scope: imported aliases (absolute and relative),
+top-level function and class definitions (with their methods), and
+module-level ``NAME = <expr>`` assignments (the engine registries are
+found this way: ``SSSP_ENGINES = Registry("SSSP engine")``).
+
+Resolution is deliberately syntactic — no imports are executed.  A name
+that cannot be resolved to a project symbol resolves to ``None`` and the
+flow rules treat it as opaque (never flagged, never followed), which
+keeps the analysis sound-for-the-project: everything it *does* claim is
+about code it actually parsed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from ..engine import ModuleContext
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleSymbols",
+    "module_name_for_path",
+]
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a lint path.
+
+    ``src/repro/core/fischer.py`` → ``repro.core.fischer``; paths outside
+    a ``src``/``repro`` root (fixtures, ``<string>`` sources) fall back
+    to their stem so single-file projects still self-resolve.
+    """
+    parts = list(PurePosixPath(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    elif parts:
+        parts = parts[-1:]
+    return ".".join(parts) if parts else "<module>"
+
+
+@dataclass
+class FunctionInfo:
+    """One project function (top-level or method)."""
+
+    fqn: str                       # repro.core.fischer._neg_candidates_block
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: ModuleContext
+    class_fqn: str | None = None   # set for methods
+
+
+@dataclass
+class ClassInfo:
+    """One project class: bases as written, methods by name."""
+
+    fqn: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    ctx: ModuleContext
+    bases: tuple[str, ...] = ()    # dotted names as written in source
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class ModuleSymbols:
+    """What every module-scope name in one module refers to."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.name = module_name_for_path(ctx.path)
+        self.imports: dict[str, str] = {}      # local alias -> absolute fqn
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.assignments: dict[str, ast.expr] = {}
+        self._collect()
+
+    # -- collection ---------------------------------------------------
+    def _package(self, level: int) -> str:
+        """The base package a ``from ...x import y`` resolves against."""
+        parts = self.name.split(".")
+        # level 1 = this module's package, level 2 = its parent, ...
+        keep = len(parts) - level
+        return ".".join(parts[:keep]) if keep > 0 else ""
+
+    def _collect(self) -> None:
+        # imports are collected from the whole tree, not just module
+        # scope: this codebase leans on function-local imports (lazy
+        # engine lookups, cycle breaking), and a factory like
+        # `_hopset_factory` is only resolvable through them.  Treating
+        # them as module-wide aliases is a harmless over-approximation.
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.imports.setdefault(local, target)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = self._package(node.level)
+                    mod = f"{base}.{node.module}" if node.module else base
+                else:
+                    mod = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports.setdefault(
+                        local,
+                        f"{mod}.{alias.name}" if mod else alias.name)
+        for node in self.ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fqn = f"{self.name}.{node.name}"
+                self.functions[node.name] = FunctionInfo(
+                    fqn=fqn, module=self.name, name=node.name,
+                    node=node, ctx=self.ctx)
+            elif isinstance(node, ast.ClassDef):
+                self._collect_class(node)
+            elif isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        self.assignments[tgt.id] = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    self.assignments[node.target.id] = node.value
+
+    def _collect_class(self, node: ast.ClassDef) -> None:
+        fqn = f"{self.name}.{node.name}"
+        bases = []
+        for b in node.bases:
+            dotted = _dotted(b)
+            if dotted is not None:
+                bases.append(dotted)
+        info = ClassInfo(fqn=fqn, module=self.name, name=node.name,
+                         node=node, ctx=self.ctx, bases=tuple(bases))
+        for sub in node.body:
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[sub.name] = FunctionInfo(
+                    fqn=f"{fqn}.{sub.name}", module=self.name,
+                    name=sub.name, node=sub, ctx=self.ctx, class_fqn=fqn)
+        self.classes[node.name] = info
+
+    # -- resolution ---------------------------------------------------
+    def resolve(self, dotted: str) -> str | None:
+        """Absolute fqn a dotted name used in this module refers to.
+
+        ``solve_sssp`` → ``repro.core.sssp.solve_sssp`` (via the import
+        table), ``np.add.at`` → ``numpy.add.at``, a local def → its own
+        fqn.  Unknown first segments resolve to ``None``.
+        """
+        head, _, rest = dotted.partition(".")
+        if head in self.functions:
+            base = self.functions[head].fqn
+        elif head in self.classes:
+            base = self.classes[head].fqn
+        elif head in self.imports:
+            base = self.imports[head]
+        elif head in self.assignments:
+            base = f"{self.name}.{head}"
+        else:
+            return None
+        return f"{base}.{rest}" if rest else base
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None

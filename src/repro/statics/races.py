@@ -174,7 +174,7 @@ def _probe_racy_demo(pool: ForkJoinPool) -> None:
     def body(lo: int, hi: int) -> None:
         race_read(data, lo, hi, site="racy.histogram:data")
         # the bug: blocks share the bins with no reduction step
-        race_write(hist, 0, 16, site="racy.histogram:bins")
+        race_write(hist, 0, 16, site="racy.histogram:bins")  # repro: noqa[RS012] deliberately racy fixture — RS012 must see this overlap (the cross-validation harness asserts it does), but the probe exists to prove the *dynamic* checker fires
         np.add.at(hist, data[lo:hi], 1)
 
     pool.parallel_for(len(data), body, grain=1024)

@@ -656,12 +656,19 @@ ALL_RULES: tuple[Rule, ...] = (
 
 
 def rules_by_id(ids: Iterable[str] | None = None) -> tuple[Rule, ...]:
-    """The rule objects for ``ids`` (all rules when None)."""
+    """The rule objects for ``ids`` (the module rules when None).
+
+    Ids may name either plane: module rules RS001–RS010 or the
+    interprocedural flow rules RS011–RS015 (imported lazily — the flow
+    package depends on this module's frozensets).
+    """
     if ids is None:
         return ALL_RULES
+    from .flow.rules import FLOW_RULES
+    catalogue: tuple[Rule, ...] = ALL_RULES + FLOW_RULES
     wanted = {i.upper() for i in ids}
-    known = {r.meta.id for r in ALL_RULES}
+    known = {r.meta.id for r in catalogue}
     unknown = wanted - known
     if unknown:
         raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
-    return tuple(r for r in ALL_RULES if r.meta.id in wanted)
+    return tuple(r for r in catalogue if r.meta.id in wanted)

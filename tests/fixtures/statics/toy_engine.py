@@ -1,0 +1,61 @@
+"""Deliberately non-conformant toy engine — the RS011–RS015 self-test.
+
+This file is never imported or executed: the statics self-test parses it
+(``repro check --flow --paths tests/fixtures/statics``) and asserts that
+every interprocedural rule fires at least once.  Each violation below is
+labelled with the rule it exists to trigger.  Do not "fix" them.
+"""
+
+import threading
+
+
+class Registry:
+    """Stub mirroring repro.runtime.registry.Registry (never run)."""
+
+    def __init__(self, kind):
+        self.kind = kind
+
+    def register(self, name):
+        def deco(obj):
+            return obj
+        return deco
+
+
+SSSP_ENGINES = Registry("SSSP engine")
+
+
+@SSSP_ENGINES.register("toy")
+class ToyEngine:
+    """Breaks the whole contract: no charge, no span, no cancel check
+    (three RS013 findings), an uncancellable engine loop (RS013), and a
+    generic solver-path raise (RS014)."""
+
+    name = "toy"
+
+    def solve(self, g, source, backend=None):
+        if g is None:
+            raise ValueError("toy engine needs a graph")  # RS014
+        return self._grind(g, source)
+
+    def _grind(self, g, source):
+        total = source
+        while True:  # RS013: engine-path loop, no exit, no cancel check
+            total += g
+        return total
+
+
+def _spin_task(lo, hi, data):
+    acc = 0
+    while True:  # RS015: worker-side loop, no exit, no cancel check
+        acc += data[lo]
+    return acc
+
+
+def run(pool, data, hist):
+    lock = threading.Lock()
+
+    def body(lo, hi):
+        hist[0] += 1  # RS012: shared write, no annotation, not disjoint
+
+    pool.map_blocks(len(data), body)  # RS011: nested-function task
+    pool.map_blocks(len(data), _spin_task, (lock,))  # RS011: lock in args

@@ -1,11 +1,15 @@
-"""Static-analysis engine, rules RS001–RS010, and the race checker.
+"""Static-analysis engine, rules RS001–RS015, and the race checker.
 
 Each rule gets a positive fixture (must fire), a negative fixture (must
 stay quiet), and the suppression paths (noqa, baseline) are exercised on
-top.  The race-checker section proves the happens-before relation, flags
-a deliberately racy kernel at every pool size, and shows the real probes
-clean.  Finally, the real package must lint clean — the same gate CI
-enforces via ``repro check``.
+top.  The interprocedural flow rules (RS011–RS015) additionally get the
+committed toy-engine fixture (every rule must fire on it) and a
+cross-validation harness proving static RS012 covers everything the
+dynamic race checker reports.  The race-checker section proves the
+happens-before relation, flags a deliberately racy kernel at every pool
+size, and shows the real probes clean.  Finally, the real package must
+lint clean on both planes — the same gate CI enforces via
+``repro check``.
 """
 
 import json
@@ -23,8 +27,9 @@ from repro.runtime.racecheck import (
     race_read,
     race_write,
 )
-from repro.statics import lint_source, rules_by_id
+from repro.statics import FLOW_RULES, lint_source, rules_by_id
 from repro.statics.engine import Baseline, BaselineEntry, lint_paths
+from repro.statics.flow import cross_validate_rs012
 from repro.statics.races import run_race_probes
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
@@ -243,6 +248,295 @@ class TestRS010:
     def test_quiet_on_integer_division(self):
         src = "def f(sp, n):\n    sp.count('rounds', n // 2)\n"
         assert findings_of(src, "RS010") == []
+
+
+# ---------------------------------------------------------------------------
+# interprocedural flow rules RS011–RS015
+# ---------------------------------------------------------------------------
+
+RS011_POS_LAMBDA = """
+def run(pool, data):
+    pool.map_blocks(len(data), lambda lo, hi: None)
+"""
+
+RS011_POS_LOCK = """
+import threading
+
+def task(lo, hi, lock):
+    lock.acquire()
+
+def run(pool, data):
+    lock = threading.Lock()
+    pool.map_blocks(len(data), task, (lock,))
+"""
+
+RS011_NEG = """
+def task(lo, hi, data):
+    data[lo] = hi
+
+def run(pool, data):
+    pool.map_blocks(len(data), task, (data,))
+"""
+
+RS012_POS_SHARED = """
+def run(pool, hist):
+    def body(lo, hi):
+        hist[0] += 1
+    pool.parallel_for(100, body)
+"""
+
+RS012_POS_OVERLAP = """
+import numpy as np
+from repro.runtime.racecheck import race_write
+
+def run(pool, data, hist):
+    def body(lo, hi):
+        race_write(hist, 0, 16, site="demo:bins")
+        np.add.at(hist, data[lo:hi], 1)
+    pool.parallel_for(len(data), body)
+"""
+
+RS012_NEG = """
+from repro.runtime.racecheck import race_read, race_write
+
+def run(pool, data, out):
+    def body(lo, hi):
+        race_read(data, lo, hi, site="sq:data")
+        race_write(out, lo, hi, site="sq:out")
+        out[lo:hi] = data[lo:hi] * 2
+    pool.parallel_for(len(data), body)
+"""
+
+RS013_POS = """
+SSSP_ENGINES = Registry("SSSP engine")
+
+@SSSP_ENGINES.register("bad")
+class BadEngine:
+    def solve(self, g, source, backend=None):
+        return g
+"""
+
+RS013_POS_LOOP = """
+SSSP_ENGINES = Registry("SSSP engine")
+
+@SSSP_ENGINES.register("spin")
+class SpinEngine:
+    def solve(self, g, source, backend=None):
+        while True:
+            source += 1
+"""
+
+RS013_NEG = """
+from repro.observability.trace import trace_span
+from repro.runtime.metrics import CostAccumulator
+from repro.runtime.registry import Registry
+
+SSSP_ENGINES = Registry("SSSP engine")
+
+@SSSP_ENGINES.register("good")
+class GoodEngine:
+    def solve(self, g, source, backend=None, token=None):
+        acc = CostAccumulator()
+        with trace_span("solve"):
+            acc.charge(g.n, span=1.0)
+            if token is not None:
+                token.check()
+        return None
+"""
+
+RS014_POS = RS013_POS.replace(
+    "        return g", '        raise ValueError("boom")')
+
+RS014_NEG = """
+class ReproError(Exception):
+    pass
+
+class InputValidationError(ReproError, ValueError):
+    pass
+
+SSSP_ENGINES = Registry("SSSP engine")
+
+@SSSP_ENGINES.register("ok")
+class TaxonomyEngine:
+    def solve(self, g, source, backend=None):
+        raise InputValidationError("bad input")
+"""
+
+RS015_POS = """
+def task(lo, hi, data):
+    while True:
+        data[lo] += 1
+
+def run(pool, data):
+    pool.map_blocks(len(data), task, (data,))
+"""
+
+RS015_NEG_TOKEN = """
+def task(lo, hi, data, token):
+    while True:
+        token.check()
+        data[lo] += 1
+
+def run(pool, data, token):
+    pool.map_blocks(len(data), task, (data, token))
+"""
+
+RS015_NEG_BREAK = """
+def task(lo, hi, data):
+    while True:
+        if data[lo] > hi:
+            break
+        data[lo] += 1
+
+def run(pool, data):
+    pool.map_blocks(len(data), task, (data,))
+"""
+
+
+class TestRS011:
+    def test_fires_on_lambda_task(self):
+        (f,) = findings_of(RS011_POS_LAMBDA, "RS011")
+        assert f.rule == "RS011"
+
+    def test_fires_on_lock_in_args(self):
+        findings = findings_of(RS011_POS_LOCK, "RS011")
+        assert any("lock" in f.message.lower() for f in findings)
+
+    def test_quiet_on_module_fn_with_plain_args(self):
+        assert findings_of(RS011_NEG, "RS011") == []
+
+
+class TestRS012:
+    def test_fires_on_unannotated_shared_write(self):
+        findings = findings_of(RS012_POS_SHARED, "RS012")
+        assert any("hist" in f.message for f in findings)
+
+    def test_fires_on_overlapping_annotation_and_names_site(self):
+        findings = findings_of(RS012_POS_OVERLAP, "RS012")
+        assert any("demo:bins" in f.message for f in findings)
+
+    def test_quiet_on_disjoint_annotated_blocks(self):
+        assert findings_of(RS012_NEG, "RS012") == []
+
+
+class TestRS013:
+    def test_fires_on_contract_free_engine(self):
+        findings = findings_of(RS013_POS, "RS013")
+        joined = " ".join(f.message for f in findings)
+        assert "charge" in joined
+        assert "trace_span" in joined
+        assert "cancel" in joined
+
+    def test_fires_on_uncancellable_engine_loop(self):
+        findings = findings_of(RS013_POS_LOOP, "RS013")
+        assert any("while True" in f.message for f in findings)
+
+    def test_quiet_on_conformant_engine(self):
+        assert findings_of(RS013_NEG, "RS013") == []
+
+
+class TestRS014:
+    def test_fires_on_generic_raise_on_solver_path(self):
+        findings = findings_of(RS014_POS, "RS014")
+        assert any("ValueError" in f.message for f in findings)
+
+    def test_quiet_on_taxonomy_raise(self):
+        assert findings_of(RS014_NEG, "RS014") == []
+
+
+class TestRS015:
+    def test_fires_on_unbounded_worker_loop(self):
+        findings = findings_of(RS015_POS, "RS015")
+        assert any("while True" in f.message for f in findings)
+
+    def test_quiet_when_loop_checks_token(self):
+        assert findings_of(RS015_NEG_TOKEN, "RS015") == []
+
+    def test_quiet_when_loop_breaks(self):
+        assert findings_of(RS015_NEG_BREAK, "RS015") == []
+
+
+class TestFlowSelfTest:
+    """The committed toy fixture is the CI self-test: every flow rule
+    must fire on it, so a regression that silences a rule breaks here
+    (and in the lint-and-race job) rather than silently passing."""
+
+    def test_toy_engine_fires_every_flow_rule(self):
+        report = lint_paths([REPO / "tests" / "fixtures" / "statics"],
+                            rules=FLOW_RULES, relative_to=REPO)
+        fired = {f.rule for f in report.findings}
+        assert fired == {"RS011", "RS012", "RS013", "RS014", "RS015"}, (
+            report.render())
+
+
+class TestRuleMetadataJson:
+    def test_flow_findings_carry_title_and_severity(self):
+        report = lint_source(RS012_POS_SHARED, rules=rules_by_id(["RS012"]))
+        doc = report.to_json()
+        assert doc["findings"], "fixture must fire"
+        for f in doc["findings"]:
+            assert f["title"] and f["severity"] == "error"
+
+    def test_legacy_findings_carry_metadata_too(self):
+        src = "s = {1, 2}\nout = list(s)\n"
+        report = lint_source(src, rules=rules_by_id(["RS004"]))
+        (f,) = report.to_json()["findings"]
+        assert f["severity"] == "error" and f["title"]
+
+    def test_text_render_format_unchanged(self):
+        src = "s = {1, 2}\nout = list(s)\n"
+        report = lint_source(src, rules=rules_by_id(["RS004"]))
+        first = report.render().splitlines()[0]
+        assert first.startswith("<string>:2:")
+        assert " RS004 " in first
+        # metadata enrichment is JSON-only
+        assert "severity" not in first and "title" not in first
+
+
+class TestFingerprintStability:
+    def test_multiline_finding_fingerprint_survives_line_moves(self):
+        # flow findings anchor multi-line nodes (a whole class def); the
+        # baseline must keep matching them when unrelated edits above
+        # shift every line number
+        report = lint_source(RS013_POS, rules=rules_by_id(["RS013"]))
+        assert report.findings
+        occurrence: dict[tuple, int] = {}
+        entries = []
+        for f in sorted(report.findings,
+                        key=lambda f: (f.path, f.line, f.col, f.rule)):
+            key = (f.rule, f.path, " ".join(f.snippet.split()))
+            idx = occurrence.get(key, 0)
+            occurrence[key] = idx + 1
+            entries.append(BaselineEntry(
+                rule=f.rule, path=f.path, fingerprint=f.fingerprint(idx),
+                justification="pinned across the line move"))
+        moved = ("\n\n# a new comment pushes every finding down\n\n"
+                 + RS013_POS)
+        again = lint_source(moved, rules=rules_by_id(["RS013"]),
+                            baseline=Baseline(entries))
+        assert again.findings == []
+        assert again.stale_baseline == []
+        assert len(again.suppressed_baseline) == len(entries)
+        assert again.ok
+
+    def test_baseline_entry_for_unrun_rule_is_not_stale(self):
+        # a subset run (one plane) must not condemn the other plane's
+        # grandfathered findings as stale
+        baseline = Baseline([BaselineEntry(
+            rule="RS012", path="x.py", fingerprint="f" * 16,
+            justification="belongs to the flow plane")])
+        report = lint_source("x = 1\n", rules=rules_by_id(["RS004"]),
+                             baseline=baseline)
+        assert report.stale_baseline == []
+        assert report.ok
+
+
+class TestCrossValidation:
+    def test_static_rs012_covers_dynamic_race_findings(self):
+        cv = cross_validate_rs012(roots=(REPO / "src",), pool_sizes=(2,),
+                                  relative_to=REPO)
+        assert cv.dynamic_sites, "the racy demo must yield dynamic findings"
+        assert cv.ok, cv.render()
 
 
 # ---------------------------------------------------------------------------
@@ -489,6 +783,22 @@ class TestRealPackage:
         report = lint_paths([REPO / "src"], baseline=baseline,
                             relative_to=REPO)
         assert report.ok, report.render()
+
+    def test_src_flow_plane_clean(self):
+        baseline = Baseline.load(REPO / "statics_baseline.json")
+        report = lint_paths([REPO / "src"], rules=FLOW_RULES,
+                            baseline=baseline, relative_to=REPO)
+        assert report.ok, report.render()
+
+    def test_block_functions_pickle_and_purity_clean(self):
+        # satellite gate: the block functions shipped to workers carry no
+        # pickle hazards and no unannotated shared writes
+        targets = [REPO / "src/repro/core/fischer.py",
+                   REPO / "src/repro/observability/worker.py",
+                   REPO / "src/repro/baselines/bellman_ford_threaded.py"]
+        report = lint_paths(targets, rules=rules_by_id(["RS011", "RS012"]),
+                            relative_to=REPO)
+        assert report.findings == [], report.render()
 
     def test_committed_baseline_is_empty(self):
         baseline = Baseline.load(REPO / "statics_baseline.json")
